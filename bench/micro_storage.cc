@@ -1,0 +1,97 @@
+// Microbenchmarks (google-benchmark) for the storage and intersection
+// primitives both join algorithms are built from: trie seeks, gap probes,
+// unary leapfrog intersection, and CDS interval inserts. These are the
+// constants behind every table in the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cds.h"
+#include "core/leapfrog.h"
+#include "graph/generators.h"
+#include "storage/trie.h"
+#include "util/rng.h"
+
+namespace wcoj {
+namespace {
+
+Relation RandomUnary(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Relation r(1);
+  for (int64_t i = 0; i < n; ++i) {
+    r.Add({static_cast<Value>(rng.NextBounded(n * 4))});
+  }
+  r.Build();
+  return r;
+}
+
+void BM_TrieSeek(benchmark::State& state) {
+  const Relation rel = RandomUnary(state.range(0), 1);
+  const TrieIndex index(rel);
+  Rng rng(2);
+  for (auto _ : state) {
+    TrieIterator it(&index);
+    it.Open();
+    for (int i = 0; i < 64; ++i) {
+      it.Seek(static_cast<Value>(rng.NextBounded(state.range(0) * 4)));
+      if (it.AtEnd()) break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TrieSeek)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SeekGap(benchmark::State& state) {
+  Graph g = ErdosRenyi(state.range(0), state.range(0) * 8, 3);
+  const Relation edge = g.EdgeRelationSymmetric();
+  const TrieIndex index(edge);
+  Rng rng(4);
+  Tuple t(2);
+  for (auto _ : state) {
+    t[0] = static_cast<Value>(rng.NextBounded(state.range(0)));
+    t[1] = static_cast<Value>(rng.NextBounded(state.range(0)));
+    benchmark::DoNotOptimize(index.SeekGap(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeekGap)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_LeapfrogIntersect(benchmark::State& state) {
+  const Relation a = RandomUnary(state.range(0), 5);
+  const Relation b = RandomUnary(state.range(0), 6);
+  const Relation c = RandomUnary(state.range(0), 7);
+  const TrieIndex ia(a), ib(b), ic(c);
+  for (auto _ : state) {
+    TrieIterator ta(&ia), tb(&ib), tc(&ic);
+    ta.Open();
+    tb.Open();
+    tc.Open();
+    LeapfrogJoin join({&ta, &tb, &tc});
+    join.Init();
+    uint64_t hits = 0;
+    while (!join.AtEnd()) {
+      ++hits;
+      join.Next();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LeapfrogIntersect)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CdsInsertAndNext(benchmark::State& state) {
+  Rng rng(8);
+  for (auto _ : state) {
+    CdsNode node(nullptr, kWildcard, 1);
+    for (int i = 0; i < state.range(0); ++i) {
+      const Value l = static_cast<Value>(rng.NextBounded(1 << 20));
+      node.InsertInterval(l, l + 1 + static_cast<Value>(rng.NextBounded(64)));
+    }
+    benchmark::DoNotOptimize(node.Next(1 << 19));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CdsInsertAndNext)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace wcoj
+
+BENCHMARK_MAIN();

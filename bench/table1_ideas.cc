@@ -1,0 +1,13 @@
+// Table 1: speedup ratio when Ideas 4 and 6 are incorporated (2-comb,
+// 3-path, 4-path across the 12 datasets). Two blocks, like the paper:
+// Idea 4 alone, then Ideas 4&6.
+
+#include "bench/ideas_speedup_common.h"
+
+int main() {
+  wcoj::bench::PrintHeader(
+      "Table 1: Minesweeper speedup from Idea 4 and Ideas 4&6");
+  wcoj::bench::RunIdeasSpeedupTable(/*selectivity=*/100,
+                                    /*idea4_only_block=*/true);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Table 2: speedup ratio from Ideas 4&6 at selectivity 10 — the denser
+// samples create more redundant sub-path work, so the caching ideas pay
+// off more than in Table 1.
+
+#include "bench/ideas_speedup_common.h"
+
+int main() {
+  wcoj::bench::PrintHeader("Table 2: Ideas 4&6 speedup, selectivity 10");
+  wcoj::bench::RunIdeasSpeedupTable(/*selectivity=*/10,
+                                    /*idea4_only_block=*/false);
+  return 0;
+}

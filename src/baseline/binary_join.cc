@@ -1,0 +1,187 @@
+#include "baseline/binary_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/planner.h"
+
+namespace wcoj {
+
+namespace {
+
+// FNV-1a over a key tuple.
+struct KeyHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (Value v : t) {
+      h ^= static_cast<uint64_t>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+class BinaryJoinRun {
+ public:
+  BinaryJoinRun(const BoundQuery& q, const ExecOptions& opts,
+                PlanStrategy strategy, ExecResult* result)
+      : q_(q), opts_(opts), strategy_(strategy), result_(result) {}
+
+  void Run() {
+    const JoinPlan plan = PlanJoin(q_, strategy_);
+    // `bound[v]` = column of the intermediate holding variable v, or -1.
+    std::vector<int> bound(q_.num_vars, -1);
+    std::vector<Tuple> inter;  // current materialized intermediate
+
+    for (size_t step = 0; step < plan.atom_order.size(); ++step) {
+      const int a = plan.atom_order[step];
+      if (step == 0) {
+        inter = ScanAtom(a, &bound);
+      } else {
+        inter = HashJoinStep(inter, a, &bound);
+      }
+      result_->stats.intermediate_tuples += inter.size();
+      if (result_->timed_out) return;
+      ApplyFilters(&inter, bound);
+    }
+    // All variables bound; project to GAO order and report.
+    for (const Tuple& row : inter) {
+      Tuple t(q_.num_vars);
+      for (int v = 0; v < q_.num_vars; ++v) t[v] = row[bound[v]];
+      ++result_->count;
+      if (opts_.collect_tuples) result_->tuples.push_back(std::move(t));
+    }
+  }
+
+ private:
+  bool Expired() {
+    if (++steps_ % 4096 == 0 && opts_.deadline.Expired()) {
+      result_->timed_out = true;
+    }
+    return result_->timed_out;
+  }
+
+  // Initial scan of atom `a`, deduped on its variable set, with the var0
+  // partition range applied when var0 occurs in it.
+  std::vector<Tuple> ScanAtom(int a, std::vector<int>* bound) {
+    const auto& atom = q_.atoms[a];
+    for (size_t c = 0; c < atom.vars.size(); ++c) {
+      (*bound)[atom.vars[c]] = static_cast<int>(c);
+    }
+    std::vector<Tuple> rows;
+    for (size_t r = 0; r < atom.relation->size(); ++r) {
+      Tuple row = atom.relation->RowTuple(r);
+      if (!Var0Ok(atom.vars, row)) continue;
+      rows.push_back(std::move(row));
+      if (Expired()) break;
+    }
+    return rows;
+  }
+
+  bool Var0Ok(const std::vector<int>& vars, const Tuple& row) const {
+    for (size_t c = 0; c < vars.size(); ++c) {
+      if (vars[c] == 0) {
+        return row[c] >= opts_.var0_min && row[c] <= opts_.var0_max;
+      }
+    }
+    return true;
+  }
+
+  std::vector<Tuple> HashJoinStep(const std::vector<Tuple>& inter, int a,
+                                  std::vector<int>* bound) {
+    const auto& atom = q_.atoms[a];
+    // Join keys: atom columns whose variable is already bound.
+    std::vector<int> key_cols, new_cols;
+    std::vector<int> key_inter_cols;
+    for (size_t c = 0; c < atom.vars.size(); ++c) {
+      if ((*bound)[atom.vars[c]] >= 0) {
+        key_cols.push_back(static_cast<int>(c));
+        key_inter_cols.push_back((*bound)[atom.vars[c]]);
+      } else {
+        new_cols.push_back(static_cast<int>(c));
+      }
+    }
+    // Build side: the atom, keyed on the shared columns (empty key =
+    // cartesian product, as a conventional executor would do).
+    std::unordered_multimap<Tuple, size_t, KeyHash> build;
+    build.reserve(atom.relation->size());
+    for (size_t r = 0; r < atom.relation->size(); ++r) {
+      Tuple key(key_cols.size());
+      for (size_t i = 0; i < key_cols.size(); ++i) {
+        key[i] = atom.relation->At(r, key_cols[i]);
+      }
+      if (!Var0Ok(atom.vars, atom.relation->RowTuple(r))) continue;
+      build.emplace(std::move(key), r);
+      if (Expired()) return {};
+    }
+    std::vector<Tuple> out;
+    for (const Tuple& row : inter) {
+      Tuple key(key_inter_cols.size());
+      for (size_t i = 0; i < key_inter_cols.size(); ++i) {
+        key[i] = row[key_inter_cols[i]];
+      }
+      auto [lo, hi] = build.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        Tuple next = row;
+        for (int c : new_cols) {
+          next.push_back(q_.atoms[a].relation->At(it->second, c));
+        }
+        out.push_back(std::move(next));
+        if (Expired()) return out;
+      }
+    }
+    // Record where the new variables landed.
+    int width = inter.empty() ? 0 : static_cast<int>(inter[0].size());
+    if (inter.empty()) {
+      // Intermediate was empty: output is empty, but variable positions
+      // must still advance for later steps.
+      for (int v = 0; v < q_.num_vars; ++v) {
+        width = std::max(width, (*bound)[v] + 1);
+      }
+    }
+    for (size_t i = 0; i < new_cols.size(); ++i) {
+      (*bound)[atom.vars[new_cols[i]]] = width + static_cast<int>(i);
+    }
+    return out;
+  }
+
+  void ApplyFilters(std::vector<Tuple>* inter,
+                    const std::vector<int>& bound) {
+    for (const auto& [lo, hi] : q_.less_than) {
+      if (bound[lo] < 0 || bound[hi] < 0) continue;
+      auto it = std::remove_if(inter->begin(), inter->end(),
+                               [&](const Tuple& row) {
+                                 return !(row[bound[lo]] < row[bound[hi]]);
+                               });
+      inter->erase(it, inter->end());
+    }
+  }
+
+  const BoundQuery& q_;
+  const ExecOptions& opts_;
+  PlanStrategy strategy_;
+  ExecResult* result_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+ExecResult BinaryJoinEngine::Execute(const BoundQuery& q,
+                                     const ExecOptions& opts) const {
+  ExecResult result;
+  BinaryJoinRun run(q, opts,
+                    flavor_ == BinaryJoinFlavor::kRowStore
+                        ? PlanStrategy::kDynamicProgramming
+                        : PlanStrategy::kGreedySmallest,
+                    &result);
+  run.Run();
+  if (result.timed_out) {
+    result.count = 0;
+    result.tuples.clear();
+  }
+  return result;
+}
+
+}  // namespace wcoj

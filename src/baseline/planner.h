@@ -1,0 +1,46 @@
+#ifndef WCOJ_BASELINE_PLANNER_H_
+#define WCOJ_BASELINE_PLANNER_H_
+
+// Selinger-style join-order selection for the pairwise baseline.
+//
+// The paper's point of comparison is the classical optimizer family that
+// enumerates pairwise joins with cardinality estimates (Selinger et al.
+// '79). We implement two flavors:
+//
+//  * kDynamicProgramming — left-deep DP over atom subsets with textbook
+//    independence/containment estimates (the "smart" plans the paper
+//    credits PostgreSQL with on 3-path).
+//  * kGreedySmallest — start from the smallest relation and repeatedly
+//    append the atom with the smallest estimated result, ignoring
+//    connectivity (the eager self-join-first behaviour the paper observed
+//    in MonetDB).
+//
+// Either way the executor materializes every intermediate result — the
+// asymptotic weakness worst-case optimal joins fix.
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace wcoj {
+
+enum class PlanStrategy { kDynamicProgramming, kGreedySmallest };
+
+struct JoinPlan {
+  std::vector<int> atom_order;    // order in which atoms are joined
+  double estimated_cost = 0.0;    // sum of estimated intermediate sizes
+};
+
+// Per-(atom, var) distinct-value counts used by the estimator.
+std::vector<std::vector<double>> DistinctCounts(const BoundQuery& q);
+
+// Estimated cardinality of joining the atom set `atoms` (indices into q).
+double EstimateJoinSize(const BoundQuery& q,
+                        const std::vector<std::vector<double>>& distinct,
+                        const std::vector<int>& atoms);
+
+JoinPlan PlanJoin(const BoundQuery& q, PlanStrategy strategy);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_BASELINE_PLANNER_H_

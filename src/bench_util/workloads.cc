@@ -1,0 +1,110 @@
+#include "bench_util/workloads.h"
+
+#include <cassert>
+
+#include "graph/sampling.h"
+#include "query/parser.h"
+
+namespace wcoj {
+
+const std::vector<Workload>& PaperWorkloads() {
+  static const std::vector<Workload>* const kWorkloads =
+      new std::vector<Workload>{
+          {"3-clique",
+           "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)",
+           {"a", "b", "c"},
+           /*cyclic=*/true,
+           0},
+          {"4-clique",
+           "edge_lt(a,b), edge_lt(a,c), edge_lt(a,d), edge_lt(b,c), "
+           "edge_lt(b,d), edge_lt(c,d)",
+           {"a", "b", "c", "d"},
+           true,
+           0},
+          {"4-cycle",
+           "edge_lt(a,b), edge_lt(b,c), edge_lt(c,d), edge_lt(a,d)",
+           {"a", "b", "c", "d"},
+           true,
+           0},
+          {"3-path",
+           "v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)",
+           {"a", "b", "c", "d"},
+           false,
+           2},
+          {"4-path",
+           "v1(a), v2(e), edge(a,b), edge(b,c), edge(c,d), edge(d,e)",
+           {"a", "b", "c", "d", "e"},
+           false,
+           2},
+          {"1-tree",
+           "v1(b), v2(c), edge(a,b), edge(a,c)",
+           {"a", "b", "c"},
+           false,
+           2},
+          {"2-tree",
+           "v1(d), v2(e), v3(f), v4(g), edge(a,b), edge(a,c), edge(b,d), "
+           "edge(b,e), edge(c,f), edge(c,g)",
+           {"a", "b", "c", "d", "e", "f", "g"},
+           false,
+           4},
+          {"2-comb",
+           "v1(c), v2(d), edge(a,b), edge(a,c), edge(b,d)",
+           {"a", "b", "c", "d"},
+           false,
+           2},
+          {"2-lollipop",
+           "v1(a), edge(a,b), edge(b,c), edge(c,d), edge(d,e), edge(c,e)",
+           {"a", "b", "c", "d", "e"},
+           true,  // clique tail makes it β-cyclic
+           1},
+          {"3-lollipop",
+           "v1(a), edge(a,b), edge(b,c), edge(c,d), edge(d,e), edge(d,f), "
+           "edge(d,g), edge(e,f), edge(e,g), edge(f,g)",
+           {"a", "b", "c", "d", "e", "f", "g"},
+           true,
+           1},
+      };
+  return *kWorkloads;
+}
+
+const Workload& WorkloadByName(const std::string& name) {
+  for (const auto& w : PaperWorkloads()) {
+    if (w.name == name) return w;
+  }
+  assert(false && "unknown workload");
+  __builtin_trap();
+}
+
+DatasetRelations::DatasetRelations(const Graph& g)
+    : edge_(g.EdgeRelationSymmetric()),
+      edge_lt_(g.EdgeRelationOriented()),
+      node_(g.NodeRelation()),
+      samples_(4, Relation(1)),
+      graph_(&g) {
+  Resample(/*selectivity=*/1.0, /*seed=*/0);
+}
+
+void DatasetRelations::Resample(double selectivity, uint64_t seed) {
+  for (int i = 0; i < 4; ++i) {
+    samples_[i] = SampleNodes(*graph_, selectivity, seed * 4 + i + 1);
+  }
+}
+
+void DatasetRelations::ResampleExact(int64_t count, uint64_t seed) {
+  for (int i = 0; i < 4; ++i) {
+    samples_[i] = SampleNodesExact(*graph_, count, seed * 4 + i + 1);
+  }
+}
+
+std::map<std::string, const Relation*> DatasetRelations::Map() const {
+  return {{"edge", &edge_}, {"edge_lt", &edge_lt_}, {"node", &node_},
+          {"v1", &samples_[0]}, {"v2", &samples_[1]}, {"v3", &samples_[2]},
+          {"v4", &samples_[3]}};
+}
+
+BoundQuery BindWorkload(const Workload& w, const DatasetRelations& rels) {
+  const Query q = MustParseQuery(w.query_text);
+  return Bind(q, rels.Map(), w.gao);
+}
+
+}  // namespace wcoj

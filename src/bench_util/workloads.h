@@ -1,0 +1,58 @@
+#ifndef WCOJ_BENCH_UTIL_WORKLOADS_H_
+#define WCOJ_BENCH_UTIL_WORKLOADS_H_
+
+// The paper's query workload (§5.1) and the machinery to bind it against a
+// dataset: relation bundles (symmetric/oriented edge relations plus the
+// v1..v4 node samples), the Datalog-ish query texts, and their GAOs.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query.h"
+#include "storage/relation.h"
+
+namespace wcoj {
+
+struct Workload {
+  std::string name;        // e.g. "3-clique", "4-path"
+  std::string query_text;  // parser input (see query/parser.h)
+  std::vector<std::string> gao;
+  bool cyclic = false;
+  int num_samples = 0;  // how many of v1..v4 the query uses
+};
+
+// All queries from §5.1: {3,4}-clique, 4-cycle, {3,4}-path, {1,2}-tree,
+// 2-comb, {2,3}-lollipop. Clique/cycle queries use the oriented edge
+// relation (`edge_lt`), realizing the paper's a<b<c side conditions.
+const std::vector<Workload>& PaperWorkloads();
+const Workload& WorkloadByName(const std::string& name);
+
+// Relations derived from one graph, owning storage. v1..v4 are node
+// samples regenerated per selectivity via Resample.
+class DatasetRelations {
+ public:
+  explicit DatasetRelations(const Graph& g);
+
+  // Draws v1..v4 with the given selectivity (fraction kept = 1/s).
+  void Resample(double selectivity, uint64_t seed);
+  // Draws v1..v4 with exactly `count` nodes (figure 3-5 sweeps).
+  void ResampleExact(int64_t count, uint64_t seed);
+
+  std::map<std::string, const Relation*> Map() const;
+
+ private:
+  Relation edge_, edge_lt_, node_;
+  std::vector<Relation> samples_;  // v1..v4
+  const Graph* graph_;
+};
+
+// Binds a workload; dies on inconsistencies (bench-internal misuse).
+BoundQuery BindWorkload(const Workload& w, const DatasetRelations& rels);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_BENCH_UTIL_WORKLOADS_H_

@@ -1,0 +1,367 @@
+#include "core/cds.h"
+#ifdef WCOJ_DEBUG_DRAIN
+#include <cstdio>
+#include <string>
+#endif
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace wcoj {
+
+namespace {
+
+// Frontier coordinates start below every data value; Minesweeper requires
+// nonnegative domains (node ids), which the engine asserts.
+constexpr Value kFrontierFloor = -1;
+
+}  // namespace
+
+size_t CdsNode::LowerBound(Value v) const {
+  size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (entries_[mid].v < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Value CdsNode::Next(Value x) const {
+  const size_t i = LowerBound(x);
+  if (i < entries_.size() && entries_[i].v == x) return x;  // endpoints free
+  if (i > 0 && entries_[i - 1].left) {
+    // x lies strictly inside the interval (entries_[i-1].v, entries_[i].v).
+    assert(i < entries_.size() && entries_[i].right);
+    return entries_[i].v;
+  }
+  return x;
+}
+
+bool CdsNode::HasNoFreeValue() const {
+  return Next(kFrontierFloor) == kPosInf;
+}
+
+void CdsNode::InsertInterval(Value l, Value r) {
+  assert(l < r);
+  // Extend left: if l is strictly inside an interval, or coincides with a
+  // stored left endpoint, the merge starts at that interval's left end and
+  // must reach at least its right end.
+  {
+    const size_t i = LowerBound(l);
+    if (i < entries_.size() && entries_[i].v == l) {
+      if (entries_[i].left) {
+        assert(i + 1 < entries_.size() && entries_[i + 1].right);
+        r = std::max(r, entries_[i + 1].v);
+      }
+    } else if (i > 0 && entries_[i - 1].left) {
+      assert(i < entries_.size() && entries_[i].right);
+      l = entries_[i - 1].v;
+      r = std::max(r, entries_[i].v);
+    }
+  }
+  // Extend right: if r is strictly inside an interval, absorb it. Touching
+  // at an endpoint does not merge (open intervals leave endpoints free).
+  {
+    const size_t j = LowerBound(r);
+    if (!(j < entries_.size() && entries_[j].v == r) && j > 0 &&
+        entries_[j - 1].left) {
+      assert(j < entries_.size() && entries_[j].right);
+      r = entries_[j].v;
+    }
+  }
+  // Delete entries strictly inside (l, r); subsumed child branches die.
+  {
+    size_t b = LowerBound(l);
+    if (b < entries_.size() && entries_[b].v == l) ++b;
+    const size_t e = LowerBound(r);
+    for (size_t k = b; k < e; ++k) {
+      if (entries_[k].left) --left_count_;
+    }
+    entries_.erase(entries_.begin() + b, entries_.begin() + e);
+  }
+  // Materialize the endpoints with their flags.
+  auto ensure = [&](Value v) -> Entry& {
+    const size_t i = LowerBound(v);
+    if (i < entries_.size() && entries_[i].v == v) return entries_[i];
+    return *entries_.insert(entries_.begin() + i, Entry{v, false, false, {}});
+  };
+  ensure(r).right = true;
+  Entry& le = ensure(l);
+  if (!le.left) {
+    le.left = true;
+    ++left_count_;
+  }
+}
+
+CdsNode* CdsNode::Child(Value v) const {
+  const size_t i = LowerBound(v);
+  if (i < entries_.size() && entries_[i].v == v) return entries_[i].child.get();
+  return nullptr;
+}
+
+CdsNode* CdsNode::EnsureChild(Value v, uint64_t* id_counter) {
+  const size_t i = LowerBound(v);
+  if (i < entries_.size() && entries_[i].v == v) {
+    if (entries_[i].child == nullptr) {
+      entries_[i].child = std::make_unique<CdsNode>(this, v, ++*id_counter);
+    }
+    return entries_[i].child.get();
+  }
+  if (i > 0 && entries_[i - 1].left) return nullptr;  // v is covered
+  auto it = entries_.insert(entries_.begin() + i, Entry{v, false, false, {}});
+  it->child = std::make_unique<CdsNode>(this, v, ++*id_counter);
+  return it->child.get();
+}
+
+CdsNode* CdsNode::EnsureWildcardChild(uint64_t* id_counter) {
+  if (wildcard_child_ == nullptr) {
+    wildcard_child_ = std::make_unique<CdsNode>(this, kWildcard, ++*id_counter);
+  }
+  return wildcard_child_.get();
+}
+
+Value CdsNode::FirstEntryGe(Value x) const {
+  const size_t i = LowerBound(x);
+  return i < entries_.size() ? entries_[i].v : kPosInf;
+}
+
+uint64_t CdsNode::CountEntriesGe(Value x) const {
+  size_t i = LowerBound(x);
+  uint64_t n = entries_.size() - i;
+  // Only the tail can hold the +inf sentinel.
+  if (n > 0 && entries_.back().v == kPosInf) --n;
+  return n;
+}
+
+Cds::Cds(int num_vars, const Options& options)
+    : num_vars_(num_vars), options_(options) {
+  assert(num_vars >= 1 && num_vars < 63);
+  root_ = std::make_unique<CdsNode>(nullptr, kWildcard, ++id_counter_);
+  frontier_.assign(num_vars_, kFrontierFloor);
+  rotations_.resize(num_vars_);
+}
+
+void Cds::SetFrontier(const Tuple& t) {
+  assert(static_cast<int>(t.size()) == num_vars_);
+  frontier_ = t;
+}
+
+bool Cds::InsertConstraint(const Constraint& c) {
+  assert(c.depth() < num_vars_);
+  assert(c.lo < c.hi);
+  CdsNode* node = root_.get();
+  for (const Value p : c.pattern) {
+    node = p == kWildcard ? node->EnsureWildcardChild(&id_counter_)
+                          : node->EnsureChild(p, &id_counter_);
+    if (node == nullptr) return false;  // subsumed along the walk
+  }
+  node->InsertInterval(c.lo, c.hi);
+  ++constraints_inserted_;
+  return true;
+}
+
+void Cds::Gather(int depth, std::vector<ChainNode>* out, bool* is_chain) {
+  std::vector<ChainNode> cur = {{root_.get(), 0}};
+  std::vector<ChainNode> next;
+  for (int d = 0; d < depth; ++d) {
+    next.clear();
+    for (const ChainNode& cn : cur) {
+      if (CdsNode* w = cn.node->wildcard_child()) {
+        next.push_back({w, cn.eq_mask});
+      }
+      if (CdsNode* c = cn.node->Child(frontier_[d])) {
+        next.push_back({c, cn.eq_mask | (uint64_t{1} << d)});
+      }
+    }
+    cur.swap(next);
+  }
+  out->clear();
+  for (const ChainNode& cn : cur) {
+    if (cn.node->has_intervals()) out->push_back(cn);
+  }
+  std::sort(out->begin(), out->end(), [](const ChainNode& a, const ChainNode& b) {
+    return std::popcount(a.eq_mask) > std::popcount(b.eq_mask);
+  });
+  *is_chain = true;
+  for (size_t i = 0; i + 1 < out->size(); ++i) {
+    // Nested iff the more general mask is a subset of the more special one.
+    if (((*out)[i].eq_mask & (*out)[i + 1].eq_mask) != (*out)[i + 1].eq_mask) {
+      *is_chain = false;
+      break;
+    }
+  }
+}
+
+CdsNode* Cds::EnsureExactNode(int depth) {
+  CdsNode* node = root_.get();
+  for (int d = 0; d < depth && node != nullptr; ++d) {
+    node = node->EnsureChild(frontier_[d], &id_counter_);
+  }
+  return node;
+}
+
+Cds::FreeValue Cds::GetFreeValue(Value x, const std::vector<ChainNode>& chain,
+                                 size_t i, bool chain_mode) {
+  if (i >= chain.size()) return {x, false};
+  CdsNode* u = chain[i].node;
+  if (chain_mode && complete_shortcut_ok_ && i == 0 && u->complete()) {
+    // Idea 6: a complete node's pointList is exactly the chain's free
+    // values; iterate it directly, no ping-pong.
+    return {u->FirstEntryGe(x), false};
+  }
+  Value y = x;
+  for (;;) {
+    const Value y1 = u->Next(y);
+    if (y1 == kPosInf) {
+      y = kPosInf;
+      break;
+    }
+    const FreeValue rest = GetFreeValue(y1, chain, i + 1, chain_mode);
+    if (rest.y == y1) {
+      y = y1;
+      break;
+    }
+    y = rest.y;  // includes +inf: the next u->Next(+inf) terminates the loop
+  }
+  // Idea 5 caching: record that [x, y) holds no free value. Sound into any
+  // node all of whose co-chain members are generalizations — every node in
+  // chain mode, only the dedicated exact-prefix bottom in poset mode.
+  if ((chain_mode || i == 0) && x != kNegInf && x - 1 < y) {
+    u->InsertInterval(x - 1, y);
+  }
+  return {y, false};
+}
+
+void Cds::Truncate(CdsNode* u) {
+  // Algorithm 6: walk up to the first non-wildcard edge and kill that
+  // branch with a unit gap; all-wildcard paths exhaust the whole space.
+  for (;;) {
+    --depth_;
+    if (depth_ < 0) return;
+    CdsNode* parent = u->parent();
+    assert(parent != nullptr);
+    if (u->label() != kWildcard) {
+      const Value x = u->label();
+      parent->InsertInterval(x - 1, x + 1);  // frees u's subtree
+      return;
+    }
+    u = parent;
+  }
+}
+
+bool Cds::ComputeFreeTuple() {
+  depth_ = 0;
+  std::vector<ChainNode> chain;
+  for (;;) {
+    if (deadline_ != nullptr && ++poll_counter_ % 4096 == 0 &&
+        deadline_->Expired()) {
+      timed_out_ = true;
+      return false;
+    }
+    if (depth_ < 0) return false;
+    bool is_chain = true;
+    Gather(depth_, &chain, &is_chain);
+    bool chain_mode = is_chain;
+    if (!is_chain) {
+      // §4.8 poset fallback: cache into the exact-prefix specialization.
+      CdsNode* exact = EnsureExactNode(depth_);
+      if (exact != nullptr &&
+          (chain.empty() || chain.front().node != exact)) {
+        const uint64_t full_mask =
+            depth_ == 0 ? 0 : ((uint64_t{1} << depth_) - 1);
+        chain.insert(chain.begin(), {exact, full_mask});
+      }
+    }
+
+    const Value x = frontier_[depth_];
+    CdsNode* bottom = chain.empty() ? nullptr : chain.front().node;
+    const bool completeness_ok =
+        options_.idea6_complete_nodes &&
+        (options_.completeness_blocked.empty() ||
+         !options_.completeness_blocked[depth_]);
+    if (chain_mode && bottom != nullptr && completeness_ok) {
+      Rotation& rot = rotations_[depth_];
+      if (x == kFrontierFloor) {
+        rot.bottom_id = bottom->id();
+        rot.valid = true;
+      } else if (rot.bottom_id != bottom->id()) {
+        rot.valid = false;
+      }
+    }
+
+    complete_shortcut_ok_ = completeness_ok;
+    const Value y =
+        chain.empty() ? x : GetFreeValue(x, chain, 0, chain_mode).y;
+    if (y == kPosInf) {
+      // Depth exhausted: Idea 6 bookkeeping, then truncate a fully covered
+      // node (Idea 5) or plainly backtrack.
+      if (chain_mode && bottom != nullptr && completeness_ok &&
+          rotations_[depth_].valid &&
+          rotations_[depth_].bottom_id == bottom->id()) {
+        bottom->NoteExhaustedRotation();
+      }
+      CdsNode* dead = nullptr;
+      for (const ChainNode& cn : chain) {
+        if (cn.node->HasNoFreeValue()) {
+          dead = cn.node;
+          break;
+        }
+      }
+      if (dead != nullptr) {
+        Truncate(dead);  // adjusts depth_
+      } else {
+        --depth_;
+        if (depth_ >= 0) ++frontier_[depth_];
+      }
+      // The prefix at depth_ changed; deeper coordinates restart.
+      for (int i = depth_ + 1; i < num_vars_; ++i) {
+        frontier_[i] = kFrontierFloor;
+      }
+      continue;
+    }
+
+    // The value moved: deeper coordinates belong to an older prefix and
+    // restart from the floor. (Unlike Algorithm 4's line 13 we never reset
+    // on an empty next chain — that would rewind the caller's moving
+    // frontier below already-reported outputs.)
+    if (y > x) {
+      for (int i = depth_ + 1; i < num_vars_; ++i) {
+        frontier_[i] = kFrontierFloor;
+      }
+    }
+    frontier_[depth_] = y;
+    if (depth_ == num_vars_ - 1) return true;
+    ++depth_;
+  }
+}
+
+uint64_t Cds::DrainCompleteLastLevel(uint64_t required_mask) {
+  const int d = num_vars_ - 1;
+  std::vector<ChainNode> chain;
+  bool is_chain;
+  Gather(d, &chain, &is_chain);
+  if (!is_chain || chain.empty()) return 0;
+  if ((required_mask & ~chain.front().eq_mask) != 0) return 0;
+  CdsNode* bottom = chain.front().node;
+  if (!bottom->complete()) return 0;
+  const uint64_t k = bottom->CountEntriesGe(frontier_[d] + 1);
+#ifdef WCOJ_DEBUG_DRAIN
+  {
+    std::string es;
+    for (const auto& e : bottom->entries()) es += ValueToString(e.v) + (e.child?"*":"") + " ";
+    fprintf(stderr, "[drain] frontier=%s k=%llu mask=%llx entries=[%s]\n",
+            TupleToString(frontier_).c_str(), (unsigned long long)k,
+            (unsigned long long)chain.front().eq_mask, es.c_str());
+  }
+#endif
+  counted_outputs_ += k;
+  frontier_[d] = kPosInf;  // exhaust the class; next call backtracks
+  return k;
+}
+
+}  // namespace wcoj

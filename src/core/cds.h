@@ -1,0 +1,214 @@
+#ifndef WCOJ_CORE_CDS_H_
+#define WCOJ_CORE_CDS_H_
+
+// Constraint data structure (CDS, §4.3-§4.8).
+//
+// A tree with one level per GAO attribute. Edges are labeled with equality
+// values or a wildcard; a node's pattern is the label sequence from the
+// root. Each node stores a *pointList* (Idea 1): one sorted entry vector
+// where every entry value is simultaneously a potential interval endpoint
+// (left/right flags) and a potential equality-child label. Stored open
+// intervals are pairwise non-overlapping; overlapping inserts merge, and
+// entries strictly inside a newly inserted interval are deleted together
+// with their child subtrees (those branches are subsumed by the gap).
+//
+// ComputeFreeTuple implements Algorithm 4 with:
+//   Idea 2 (moving frontier), Idea 5 (backtracking & truncation),
+//   Idea 6 (complete nodes after two exhausted rotations), and the
+//   poset fallback of §4.8 (when the gathered nodes do not form a chain,
+//   caching goes into an exact-prefix specialization node and
+//   completeness is disabled — the expensive general case the paper
+//   describes, used by the "ms-noidea7" ablation).
+//
+// The counting hook (Idea 8, #Minesweeper): in count mode, when the
+// bottom node at the last depth is complete, the remaining outputs for the
+// current prefix class are exactly its finite pointList entries; they are
+// tallied in one scan instead of being enumerated through the frontier.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/constraint.h"
+#include "util/stopwatch.h"
+#include "util/value.h"
+
+namespace wcoj {
+
+class CdsNode {
+ public:
+  struct Entry {
+    Value v;
+    bool left = false;   // v is a left endpoint of a stored interval
+    bool right = false;  // v is a right endpoint of a stored interval
+    std::unique_ptr<CdsNode> child;  // equality branch labeled v
+  };
+
+  CdsNode(CdsNode* parent, Value label, uint64_t id)
+      : parent_(parent), label_(label), id_(id) {}
+
+  CdsNode(const CdsNode&) = delete;
+  CdsNode& operator=(const CdsNode&) = delete;
+
+  // Smallest y >= x not strictly inside any stored interval. Entry values
+  // themselves are never covered (intervals are open), so they are free.
+  Value Next(Value x) const;
+
+  // True iff the single interval (-inf, +inf) covers everything.
+  bool HasNoFreeValue() const;
+
+  // Inserts open interval (l, r), l < r, merging overlaps and deleting
+  // subsumed entries/subtrees. Intervals that contain no integer are still
+  // stored: their endpoints feed the pointList free-value bookkeeping that
+  // Idea 6 depends on.
+  void InsertInterval(Value l, Value r);
+
+  // Child with equality label v, or nullptr.
+  CdsNode* Child(Value v) const;
+  // Creates the child if absent. Returns nullptr if v is covered by an
+  // interval (the branch is subsumed; nothing to create).
+  CdsNode* EnsureChild(Value v, uint64_t* id_counter);
+
+  CdsNode* wildcard_child() const { return wildcard_child_.get(); }
+  CdsNode* EnsureWildcardChild(uint64_t* id_counter);
+
+  bool has_intervals() const { return left_count_ > 0; }
+
+  // First entry value >= x, or +inf if none. Used for complete nodes.
+  Value FirstEntryGe(Value x) const;
+  // Number of finite entry values in [x, +inf): the remaining free values
+  // of a complete node (used by #Minesweeper).
+  uint64_t CountEntriesGe(Value x) const;
+
+  CdsNode* parent() const { return parent_; }
+  Value label() const { return label_; }
+  uint64_t id() const { return id_; }
+
+  bool complete() const { return complete_; }
+  void NoteExhaustedRotation() {
+    if (++exhausted_rotations_ >= 2) complete_ = true;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t NumIntervals() const { return left_count_; }
+
+ private:
+  // Index of first entry with value >= v.
+  size_t LowerBound(Value v) const;
+
+  CdsNode* parent_;
+  Value label_;  // kWildcard for the wildcard branch
+  uint64_t id_;
+  std::vector<Entry> entries_;  // sorted by v
+  std::unique_ptr<CdsNode> wildcard_child_;
+  size_t left_count_ = 0;  // number of entries with the left flag
+  int exhausted_rotations_ = 0;
+  bool complete_ = false;
+};
+
+class Cds {
+ public:
+  struct Options {
+    bool idea6_complete_nodes = true;
+    bool count_mode = false;  // #Minesweeper last-level tally
+    // Depths where frontier jumps can skip values without caching them
+    // (Idea 7 advances from non-skeleton atoms, filter advances). A node's
+    // pointList at such a depth may miss free values, so completeness
+    // (Idea 6) must not be claimed there — the §4.12 observation that
+    // Idea 6 applies to the path attributes while Idea 7 owns the clique
+    // attributes. Empty means "no depth excluded".
+    std::vector<bool> completeness_blocked;
+  };
+
+  Cds(int num_vars, const Options& options);
+
+  // Inserts a gap-box constraint (pattern walk from the root, interval at
+  // the final node). Returns false if the constraint was subsumed by an
+  // existing interval along the walk.
+  bool InsertConstraint(const Constraint& c);
+
+  // Advances the frontier to the next tuple >= the current frontier that
+  // avoids every stored constraint. Returns false when the output space is
+  // exhausted. On true, frontier() holds the free tuple; trailing
+  // coordinates may be -1 when no constraint restricts them yet.
+  bool ComputeFreeTuple();
+
+  const Tuple& frontier() const { return frontier_; }
+  void SetFrontier(const Tuple& t);
+
+  // Cooperative deadline for the internal search loop: without a nested
+  // elimination order the §4.8 poset regime can spend unbounded time
+  // between free tuples (the paper's "thrashing" cells), so the CDS itself
+  // must be interruptible. `deadline` must outlive the Cds.
+  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
+  bool timed_out() const { return timed_out_; }
+
+  // #Minesweeper (Idea 8): callable right after the engine verified and
+  // reported the frontier tuple at the last depth. If the last depth's
+  // bottom node is complete (chain mode) and its equality positions cover
+  // `required_mask` — the union of the prefix positions of every atom
+  // participating at the last depth, so each such atom sees identical
+  // projections whenever this bottom recurs — then every remaining
+  // pointList entry of the current prefix class is a verified output.
+  // Tallies them in one scan, exhausts the class, and returns the number
+  // tallied (0 if the shortcut does not apply).
+  uint64_t DrainCompleteLastLevel(uint64_t required_mask);
+
+  uint64_t constraints_inserted() const { return constraints_inserted_; }
+  // Outputs tallied wholesale by the count-mode complete-node shortcut.
+  uint64_t counted_outputs() const { return counted_outputs_; }
+
+ private:
+  struct ChainNode {
+    CdsNode* node;
+    uint64_t eq_mask;  // bitmask of equality (non-wildcard) positions
+  };
+
+  // All interval-bearing nodes at `depth` whose pattern generalizes the
+  // frontier prefix, most specialized first. Sets *is_chain to whether
+  // their equality masks are nested.
+  void Gather(int depth, std::vector<ChainNode>* out, bool* is_chain);
+
+  // Node whose pattern equals the frontier prefix of length `depth`
+  // exactly (creating it if needed); poset-mode caching target (§4.8).
+  CdsNode* EnsureExactNode(int depth);
+
+  // Algorithm 5. `chain[i..]` is the remaining (sub)chain, bottom first.
+  // `allow_cache` is false in poset mode except at the dedicated bottom.
+  struct FreeValue {
+    Value y;
+    bool backtracked;
+  };
+  FreeValue GetFreeValue(Value x, const std::vector<ChainNode>& chain,
+                         size_t i, bool chain_mode);
+
+  // Algorithm 6. May delete `u`'s branch; adjusts depth_.
+  void Truncate(CdsNode* u);
+
+  void InvalidateRotations();
+
+  int num_vars_;
+  Options options_;
+  const Deadline* deadline_ = nullptr;
+  bool timed_out_ = false;
+  uint64_t poll_counter_ = 0;
+  uint64_t id_counter_ = 0;
+  std::unique_ptr<CdsNode> root_;
+  Tuple frontier_;
+  int depth_ = 0;
+  uint64_t constraints_inserted_ = 0;
+  uint64_t counted_outputs_ = 0;
+  bool complete_shortcut_ok_ = true;  // per-depth gate set by the caller
+
+  // Idea 6 rotation tracking: a node may be marked complete only after a
+  // full -1 -> +inf rotation at its depth with a stable bottom node.
+  struct Rotation {
+    uint64_t bottom_id = 0;
+    bool valid = false;
+  };
+  std::vector<Rotation> rotations_;
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_CORE_CDS_H_

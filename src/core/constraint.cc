@@ -1,0 +1,47 @@
+#include "core/constraint.h"
+
+#include <cassert>
+
+namespace wcoj {
+
+bool Constraint::Contains(const Tuple& t) const {
+  assert(t.size() > pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] != kWildcard && pattern[i] != t[i]) return false;
+  }
+  const Value v = t[pattern.size()];
+  return lo < v && v < hi;
+}
+
+std::string Constraint::DebugString() const {
+  std::string out = "<";
+  for (const Value p : pattern) {
+    out += (p == kWildcard ? std::string("*") : ValueToString(p)) + ",";
+  }
+  out += "(" + ValueToString(lo) + "," + ValueToString(hi) + "),*...>";
+  return out;
+}
+
+bool AdvancePastGap(const Constraint& c, const Tuple& t, Value reset_value,
+                    Tuple* out) {
+  assert(c.Contains(t));
+  const int j = c.depth();
+  *out = t;
+  if (c.hi != kPosInf) {
+    // Everything with prefix t[0..j-1] and t[j] in [t_j, hi) stays inside
+    // the box, so the successor outside it is (t0..t_{j-1}, hi, reset...).
+    (*out)[j] = c.hi;
+    for (size_t i = j + 1; i < out->size(); ++i) (*out)[i] = reset_value;
+    return true;
+  }
+  // hi == +inf: no tuple with prefix t[0..j-1] and t[j] >= current value
+  // escapes; bump the previous coordinate. All skipped tuples share the
+  // prefix and have coordinate j > lo, hence stay inside the box.
+  if (j == 0) return false;
+  if (t[j - 1] == kPosInf) return false;
+  (*out)[j - 1] = t[j - 1] + 1;
+  for (size_t i = j; i < out->size(); ++i) (*out)[i] = reset_value;
+  return true;
+}
+
+}  // namespace wcoj

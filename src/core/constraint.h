@@ -1,0 +1,54 @@
+#ifndef WCOJ_CORE_CONSTRAINT_H_
+#define WCOJ_CORE_CONSTRAINT_H_
+
+// Gap-box constraints (§4.2, Definition 4.1).
+//
+// A constraint is an n-dimensional tuple whose components are equality
+// values or wildcards, followed by exactly one open interval, after which
+// everything is implicitly wildcard:
+//
+//     < *, *, 7, *, (4, 9), *, ... >
+//
+// `pattern` holds the components before the interval (values or the
+// kWildcard sentinel); `lo`/`hi` are the open interval's endpoints (with
+// kNegInf / kPosInf for unbounded sides). The interval sits at GAO depth
+// pattern.size().
+
+#include <string>
+#include <vector>
+
+#include "util/value.h"
+
+namespace wcoj {
+
+// Sentinel for a wildcard pattern component. Never a data value (data
+// values are node ids >= 0).
+inline constexpr Value kWildcard = kPosInf - 1;
+
+struct Constraint {
+  std::vector<Value> pattern;  // equality values or kWildcard
+  Value lo = kNegInf;          // open interval (lo, hi) at depth |pattern|
+  Value hi = kPosInf;
+
+  int depth() const { return static_cast<int>(pattern.size()); }
+
+  // True iff `t` (a full tuple with at least depth()+1 coordinates) lies
+  // inside this gap box: pattern equalities hold and t[depth] is strictly
+  // inside (lo, hi).
+  bool Contains(const Tuple& t) const;
+
+  std::string DebugString() const;
+};
+
+// The smallest tuple lexicographically greater than `t` that escapes the
+// gap box `c`, given that c.Contains(t). Used by Idea 7 (non-skeleton
+// relations advance the frontier instead of inserting into the CDS) and by
+// inequality filters. Coordinates deeper than the escape point reset to
+// `reset_value` (Minesweeper's -1 convention). Returns false if no tuple
+// greater than `t` escapes (the remaining output space is exhausted).
+bool AdvancePastGap(const Constraint& c, const Tuple& t, Value reset_value,
+                    Tuple* out);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_CORE_CONSTRAINT_H_

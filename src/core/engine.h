@@ -1,0 +1,79 @@
+#ifndef WCOJ_CORE_ENGINE_H_
+#define WCOJ_CORE_ENGINE_H_
+
+// Uniform engine interface.
+//
+// Every join processor in this repo — LFTJ, Minesweeper (and its idea
+// ablations), the hybrid, the Selinger-style baselines, Yannakakis, and
+// the specialized clique engine — implements Engine::Execute over a
+// BoundQuery. Benchmarks and tests treat engines interchangeably, exactly
+// how the paper swaps join algorithms inside one system.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "util/stopwatch.h"
+#include "util/value.h"
+
+namespace wcoj {
+
+struct EngineStats {
+  uint64_t seeks = 0;                 // index probe operations
+  uint64_t constraints_inserted = 0;  // Minesweeper CDS inserts
+  uint64_t free_tuples = 0;           // Minesweeper candidate tuples
+  uint64_t gap_cache_hits = 0;        // Idea 4 avoided probes
+  uint64_t intermediate_tuples = 0;   // baseline materialized rows
+};
+
+struct ExecOptions {
+  Deadline deadline = Deadline::Infinite();
+  bool collect_tuples = false;  // keep full output tuples, not just a count
+  // Inclusive range restriction on the first GAO variable; used by the
+  // parallel output-space partitioner (§4.10).
+  Value var0_min = kNegInf;
+  Value var0_max = kPosInf;
+};
+
+struct ExecResult {
+  bool timed_out = false;
+  uint64_t count = 0;
+  std::vector<Tuple> tuples;  // populated iff collect_tuples
+  EngineStats stats;
+  double seconds = 0.0;  // filled by RunTimed
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual std::string name() const = 0;
+  virtual ExecResult Execute(const BoundQuery& q,
+                             const ExecOptions& opts) const = 0;
+};
+
+// Executes and fills result.seconds.
+ExecResult RunTimed(const Engine& engine, const BoundQuery& q,
+                    const ExecOptions& opts);
+
+// Factory over the fixed engine set:
+//   "lftj"        Leapfrog Triejoin
+//   "ms"          Minesweeper, all ideas on
+//   "ms-noidea4", "ms-noidea6", "ms-noidea7", "ms-noidea46"  ablations
+//   "#ms"         counting Minesweeper (Idea 8)
+//   "hybrid"      Minesweeper prefix + LFTJ suffix (§4.12)
+//   "psql"        Selinger-style DP plan over pairwise hash joins
+//   "monetdb"     same plan space, column-batch execution flavor
+//   "yannakakis"  semijoin-reduction engine for alpha-acyclic queries
+//   "clique"      specialized triangle/4-clique engine (GraphLab stand-in)
+// Returns nullptr for unknown names.
+std::unique_ptr<Engine> CreateEngine(const std::string& name);
+
+// All names CreateEngine accepts.
+std::vector<std::string> EngineNames();
+
+}  // namespace wcoj
+
+#endif  // WCOJ_CORE_ENGINE_H_

@@ -1,0 +1,41 @@
+#ifndef WCOJ_CORE_LEAPFROG_H_
+#define WCOJ_CORE_LEAPFROG_H_
+
+// Unary leapfrog join (Veldhuizen '14, §3): the sorted-set intersection
+// primitive LFTJ applies at every variable. Operates on TrieIterators all
+// positioned at the same depth; repeatedly seeks the minimum-keyed
+// iterator to the current maximum key until all keys agree.
+
+#include <vector>
+
+#include "storage/trie.h"
+
+namespace wcoj {
+
+class LeapfrogJoin {
+ public:
+  // All iterators must be at the same depth and not require Open(). The
+  // pointers must outlive this object.
+  explicit LeapfrogJoin(std::vector<TrieIterator*> iters);
+
+  // Positions at the first common key (or exhausts). Call once after
+  // construction or after re-Opening the underlying iterators.
+  void Init();
+
+  bool AtEnd() const { return at_end_; }
+  Value Key() const;
+
+  void Next();         // advance to the next common key
+  void Seek(Value v);  // least common key >= v
+
+ private:
+  void Search();  // restore the "all keys equal" invariant
+
+  std::vector<TrieIterator*> iters_;
+  size_t p_ = 0;  // index of the iterator with the smallest key
+  bool at_end_ = true;
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_CORE_LEAPFROG_H_

@@ -1,0 +1,145 @@
+#include "core/lftj.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "core/leapfrog.h"
+#include "storage/trie.h"
+
+namespace wcoj {
+
+namespace {
+
+// Per-execution state; the engine object itself stays stateless.
+class LftjRun {
+ public:
+  LftjRun(const BoundQuery& q, const ExecOptions& opts,
+          const std::vector<const TrieIndex*>* prebuilt, ExecResult* result)
+      : q_(q), opts_(opts), result_(result) {
+    // One trie index per atom, columns ordered by GAO position
+    // (GAO-consistency assumption); prebuilt indexes are reused.
+    for (size_t a = 0; a < q.atoms.size(); ++a) {
+      const auto& atom = q.atoms[a];
+      const TrieIndex* index;
+      if (prebuilt != nullptr && (*prebuilt)[a] != nullptr) {
+        index = (*prebuilt)[a];
+      } else {
+        std::vector<int> perm(atom.vars.size());
+        for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+        std::sort(perm.begin(), perm.end(),
+                  [&](int a2, int b2) { return atom.vars[a2] < atom.vars[b2]; });
+        owned_.push_back(std::make_unique<TrieIndex>(*atom.relation, perm));
+        index = owned_.back().get();
+      }
+      iters_.push_back(std::make_unique<TrieIterator>(index));
+    }
+    // For each GAO depth, the iterators participating there.
+    per_depth_.resize(q.num_vars);
+    for (size_t a = 0; a < q.atoms.size(); ++a) {
+      for (int v : q.atoms[a].vars) per_depth_[v].push_back(iters_[a].get());
+    }
+    // Earlier filter endpoints per depth: binding depth d must exceed
+    // t[lo] for every filter (lo, d) with lo < d.
+    lower_bounds_.resize(q.num_vars);
+    for (const auto& [lo, hi] : q.less_than) {
+      if (lo < hi) {
+        lower_bounds_[hi].push_back(lo);
+      } else {
+        upper_checks_.push_back({lo, hi});  // hi bound before lo: check late
+      }
+    }
+    t_.assign(q.num_vars, 0);
+  }
+
+  void Run() {
+    if (q_.num_vars == 0) return;
+    for (int v = 0; v < q_.num_vars; ++v) {
+      assert(!per_depth_[v].empty() && "variable not covered by any atom");
+    }
+    Search(0);
+    // Collect seek stats.
+    for (const auto& it : iters_) result_->stats.seeks += it->seeks();
+  }
+
+ private:
+  bool Expired() {
+    if (++steps_ % 4096 == 0 && opts_.deadline.Expired()) {
+      result_->timed_out = true;
+    }
+    return result_->timed_out;
+  }
+
+  void Emit() {
+    ++result_->count;
+    if (opts_.collect_tuples) result_->tuples.push_back(t_);
+  }
+
+  void Search(int depth) {
+    if (result_->timed_out) return;
+    if (depth == q_.num_vars) {
+      // Filters whose variables were bound out of order (rare: only when a
+      // filter's later variable precedes the earlier one in the GAO).
+      for (const auto& [lo, hi] : upper_checks_) {
+        if (!(t_[lo] < t_[hi])) return;
+      }
+      Emit();
+      return;
+    }
+    auto& iters = per_depth_[depth];
+    for (auto* it : iters) it->Open();
+    LeapfrogJoin join(iters);
+    join.Init();
+    // Seek past inequality lower bounds (and the partition range at the
+    // first variable).
+    Value min_allowed = kNegInf;
+    if (depth == 0 && opts_.var0_min != kNegInf) min_allowed = opts_.var0_min;
+    for (int lo : lower_bounds_[depth]) {
+      min_allowed = std::max(min_allowed, t_[lo] + 1);
+    }
+    if (!join.AtEnd() && min_allowed != kNegInf) join.Seek(min_allowed);
+    while (!join.AtEnd()) {
+      if (Expired()) break;
+      const Value v = join.Key();
+      if (depth == 0 && v > opts_.var0_max) break;
+      t_[depth] = v;
+      Search(depth + 1);
+      if (result_->timed_out) break;
+      join.Next();
+    }
+    for (auto* it : iters) it->Up();
+  }
+
+  const BoundQuery& q_;
+  const ExecOptions& opts_;
+  ExecResult* result_;
+  std::vector<std::unique_ptr<TrieIndex>> owned_;
+  std::vector<std::unique_ptr<TrieIterator>> iters_;
+  std::vector<std::vector<TrieIterator*>> per_depth_;
+  std::vector<std::vector<int>> lower_bounds_;
+  std::vector<std::pair<int, int>> upper_checks_;
+  Tuple t_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+ExecResult LftjEngine::Execute(const BoundQuery& q,
+                               const ExecOptions& opts) const {
+  ExecResult result;
+  LftjRun run(q, opts, /*prebuilt=*/nullptr, &result);
+  run.Run();
+  return result;
+}
+
+ExecResult LftjEngine::ExecuteWithIndexes(
+    const BoundQuery& q, const ExecOptions& opts,
+    const std::vector<const TrieIndex*>& indexes) const {
+  ExecResult result;
+  LftjRun run(q, opts, &indexes, &result);
+  run.Run();
+  return result;
+}
+
+}  // namespace wcoj

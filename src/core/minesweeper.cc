@@ -1,0 +1,319 @@
+#include "core/minesweeper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "core/cds.h"
+#include "core/constraint.h"
+#include "query/hypergraph.h"
+#include "storage/trie.h"
+
+namespace wcoj {
+
+namespace {
+
+constexpr Value kFloor = -1;
+
+// Idea 4: remembers the last gap an atom produced so repeat probes into
+// the same region can be answered without touching the index.
+struct GapCache {
+  bool valid = false;
+  int fail_pos = 0;           // atom-local trie depth of the interval
+  std::vector<Value> prefix;  // projection values before fail_pos
+  Value glb = kNegInf, lub = kPosInf;
+  bool at_last_attr = false;
+};
+
+class MsRun {
+ public:
+  MsRun(const MsOptions& ms, const BoundQuery& q, const ExecOptions& opts,
+        ExecResult* result)
+      : ms_(ms), q_(q), opts_(opts), result_(result) {
+    for (const auto& atom : q.atoms) {
+      std::vector<int> perm(atom.vars.size());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+      std::sort(perm.begin(), perm.end(),
+                [&](int a, int b) { return atom.vars[a] < atom.vars[b]; });
+      indexes_.push_back(std::make_unique<TrieIndex>(*atom.relation, perm));
+      std::vector<int> sorted_vars = atom.vars;
+      std::sort(sorted_vars.begin(), sorted_vars.end());
+      atom_vars_.push_back(std::move(sorted_vars));
+      // Nonnegative-domain contract (frontier floor is -1).
+      const Relation& data = indexes_.back()->data();
+      assert(data.size() == 0 || data.At(0, 0) >= 0);
+      (void)data;
+    }
+    skeleton_.assign(q.atoms.size(), true);
+    if (ms.idea7_skeleton) skeleton_ = BetaAcyclicSkeleton(q);
+    caches_.resize(q.atoms.size());
+    // Union of prefix positions of atoms (and filters) participating at
+    // the last depth: the Idea 8 drain soundness mask.
+    const int last = q.num_vars - 1;
+    for (const auto& vars : atom_vars_) {
+      if (!vars.empty() && vars.back() == last) {
+        for (int v : vars) {
+          if (v < last) last_depth_mask_ |= uint64_t{1} << v;
+        }
+      }
+    }
+    for (const auto& [lo, hi] : q.less_than) {
+      if (hi == last && lo < last) last_depth_mask_ |= uint64_t{1} << lo;
+      if (lo == last && hi < last) last_depth_mask_ |= uint64_t{1} << hi;
+    }
+  }
+
+  void Run() {
+    Cds::Options cds_options;
+    cds_options.idea6_complete_nodes = ms_.idea6_complete_nodes;
+    cds_options.count_mode = ms_.count_mode && !opts_.collect_tuples;
+    cds_options.completeness_blocked = CompletenessBlockedDepths();
+    Cds cds(q_.num_vars, cds_options);
+    cds.set_deadline(&opts_.deadline);
+    InsertDomainBounds(&cds);
+    Tuple start(q_.num_vars, kFloor);
+    if (opts_.var0_min != kNegInf) start[0] = opts_.var0_min;
+    cds.SetFrontier(start);
+
+    Tuple prev_free;
+    bool prev_output = true;
+    uint64_t iters = 0;
+    Tuple advance(q_.num_vars);
+
+    while (cds.ComputeFreeTuple()) {
+      if (++iters % 256 == 0 && opts_.deadline.Expired()) {
+        result_->timed_out = true;
+        break;
+      }
+      // Copy: the Idea 8 drain below mutates the CDS frontier in place.
+      const Tuple t = cds.frontier();
+      if (t[0] > opts_.var0_max) break;
+      ++result_->stats.free_tuples;
+
+      // Stall safety net: a free tuple equal to the previous one that was
+      // not an output means no progress was made — a bug, not a slow run.
+      if (!prev_output && t == prev_free) {
+        assert(false && "Minesweeper stalled");
+        result_->timed_out = true;
+        break;
+      }
+      prev_free = t;
+
+      bool found_gap = false;
+      bool have_advance = false;
+      bool exhausted = false;
+
+      auto apply_gap_advance = [&](const Constraint& c) {
+        Tuple next;
+        if (!AdvancePastGap(c, t, kFloor, &next)) {
+          exhausted = true;
+          return;
+        }
+        if (!have_advance || CompareTuples(next, advance) > 0) {
+          advance = std::move(next);
+          have_advance = true;
+        }
+      };
+
+      // Inequality filters as virtual gaps.
+      for (const auto& [lo, hi] : q_.less_than) {
+        if (t[lo] < t[hi]) continue;
+        found_gap = true;
+        Constraint c;
+        if (lo < hi) {
+          c.pattern.assign(hi, kWildcard);
+          c.pattern[lo] = t[lo];
+          c.lo = kNegInf;
+          c.hi = t[lo] + 1;  // rules out values <= t[lo]
+        } else {
+          c.pattern.assign(lo, kWildcard);
+          c.pattern[hi] = t[hi];
+          c.lo = t[hi] - 1;  // rules out values >= t[hi]
+          c.hi = kPosInf;
+        }
+        apply_gap_advance(c);
+        if (exhausted) break;
+      }
+
+      // Probe every atom for a maximal gap box (Idea 3), short-circuited
+      // by the Idea 4 cache.
+      for (size_t a = 0; !exhausted && a < q_.atoms.size(); ++a) {
+        Tuple proj(atom_vars_[a].size());
+        for (size_t i = 0; i < proj.size(); ++i) proj[i] = t[atom_vars_[a][i]];
+
+        Constraint c;
+        bool have_gap = false;
+        if (ms_.idea4_gap_cache && CacheAnswers(a, proj, &c, &have_gap)) {
+          ++result_->stats.gap_cache_hits;
+          if (!have_gap) continue;  // cache proves no gap from this atom
+        } else {
+          TrieIndex::GapProbe probe =
+              indexes_[a]->SeekGap(proj, &result_->stats.seeks);
+          if (probe.found) {
+            caches_[a].valid = true;
+            caches_[a].fail_pos = probe.fail_pos;  // == arity: membership
+            caches_[a].at_last_attr = false;
+            caches_[a].prefix.assign(proj.begin(), proj.end());
+            continue;
+          }
+          caches_[a].valid = true;
+          caches_[a].fail_pos = probe.fail_pos;
+          caches_[a].prefix.assign(proj.begin(), proj.begin() + probe.fail_pos);
+          caches_[a].glb = probe.glb;
+          caches_[a].lub = probe.lub;
+          caches_[a].at_last_attr =
+              probe.fail_pos + 1 == static_cast<int>(proj.size());
+          c = MakeConstraint(a, probe.fail_pos, proj, probe.glb, probe.lub);
+          have_gap = true;
+        }
+        found_gap = true;
+        if (skeleton_[a]) {
+          cds.InsertConstraint(c);
+        } else {
+          apply_gap_advance(c);  // Idea 7: advance only
+        }
+      }
+
+      if (exhausted) break;
+      if (!found_gap) {
+        prev_output = true;
+        ++result_->count;
+        if (opts_.collect_tuples) result_->tuples.push_back(t);
+        uint64_t drained = 0;
+        if (ms_.count_mode && !opts_.collect_tuples) {
+          drained = cds.DrainCompleteLastLevel(last_depth_mask_);
+          result_->count += drained;
+        }
+        if (drained == 0) {
+          // Idea 2: advance the frontier past the reported tuple. (When
+          // the drain fired it already exhausted the class.)
+          Tuple next = t;
+          if (next.back() == kPosInf) break;  // cannot advance further
+          ++next.back();
+          cds.SetFrontier(next);
+        }
+      } else {
+        prev_output = false;
+        if (have_advance) cds.SetFrontier(advance);
+      }
+    }
+    if (cds.timed_out()) result_->timed_out = true;
+    result_->stats.constraints_inserted = cds.constraints_inserted();
+  }
+
+  // Depths where frontier advances (Idea 7 non-skeleton gaps, filter
+  // violations) can jump over values: completeness (Idea 6) must not be
+  // claimed there, because skipped values never reach the pointList. This
+  // realizes §4.12's split — Idea 6 on the path attributes, Idea 7 owning
+  // the clique attributes.
+  std::vector<bool> CompletenessBlockedDepths() const {
+    std::vector<bool> blocked(q_.num_vars, false);
+    for (size_t a = 0; a < q_.atoms.size(); ++a) {
+      if (skeleton_[a]) continue;
+      for (int v : atom_vars_[a]) blocked[v] = true;
+    }
+    for (const auto& [lo, hi] : q_.less_than) {
+      blocked[std::max(lo, hi)] = true;
+    }
+    return blocked;
+  }
+
+  // Domain-bound gap boxes: for every atom column, values outside
+  // [col_min, col_max] cannot match that atom under *any* prefix, so the
+  // all-wildcard-pattern boxes (-inf, col_min) and (col_max, +inf) are
+  // sound for every attribute (a real system gets these from index
+  // metadata). They keep the §4.8 poset regime's coordinate climb bounded
+  // by the domain instead of running off to +inf. All-wildcard patterns
+  // never violate the chain property.
+  void InsertDomainBounds(Cds* cds) {
+    for (size_t a = 0; a < q_.atoms.size(); ++a) {
+      const Relation& data = indexes_[a]->data();
+      for (size_t p = 0; p < atom_vars_[a].size(); ++p) {
+        const int depth = atom_vars_[a][p];
+        Constraint c;
+        c.pattern.assign(depth, kWildcard);
+        if (data.size() == 0) {
+          c.lo = kNegInf;
+          c.hi = kPosInf;
+          cds->InsertConstraint(c);
+          continue;
+        }
+        Value lo = data.At(0, static_cast<int>(p));
+        Value hi = lo;
+        for (size_t r = 1; r < data.size(); ++r) {
+          lo = std::min(lo, data.At(r, static_cast<int>(p)));
+          hi = std::max(hi, data.At(r, static_cast<int>(p)));
+        }
+        c.lo = kNegInf;
+        c.hi = lo;
+        if (c.lo < c.hi) cds->InsertConstraint(c);
+        c.lo = hi;
+        c.hi = kPosInf;
+        if (c.lo < c.hi) cds->InsertConstraint(c);
+      }
+    }
+  }
+
+ private:
+  // Idea 4. Returns true if the cache decides the probe: either "no gap
+  // can come from this atom" (have_gap=false: the projection sits exactly
+  // on the cached gap's right endpoint at the atom's last attribute, hence
+  // is a member) or "the cached gap still contains the projection"
+  // (have_gap=true, *c filled).
+  bool CacheAnswers(size_t a, const Tuple& proj, Constraint* c,
+                    bool* have_gap) {
+    const GapCache& cache = caches_[a];
+    if (!cache.valid) return false;
+    if (cache.fail_pos == static_cast<int>(proj.size())) return false;
+    if (!std::equal(cache.prefix.begin(), cache.prefix.end(), proj.begin())) {
+      return false;
+    }
+    const Value v = proj[cache.fail_pos];
+    if (cache.at_last_attr && v == cache.lub && IsFinite(cache.lub)) {
+      *have_gap = false;  // (prefix, lub) is a data tuple; no gap possible
+      return true;
+    }
+    if (cache.glb < v && v < cache.lub) {
+      *c = MakeConstraint(a, cache.fail_pos, proj, cache.glb, cache.lub);
+      *have_gap = true;
+      return true;
+    }
+    return false;
+  }
+
+  // §4.5: lift an atom-local gap to a global constraint. Equalities at the
+  // atom's attribute positions before the failing one, wildcards elsewhere.
+  Constraint MakeConstraint(size_t a, int fail_pos, const Tuple& proj,
+                            Value glb, Value lub) {
+    const std::vector<int>& vars = atom_vars_[a];
+    Constraint c;
+    c.pattern.assign(vars[fail_pos], kWildcard);
+    for (int p = 0; p < fail_pos; ++p) c.pattern[vars[p]] = proj[p];
+    c.lo = glb;
+    c.hi = lub;
+    return c;
+  }
+
+  const MsOptions& ms_;
+  const BoundQuery& q_;
+  const ExecOptions& opts_;
+  ExecResult* result_;
+  std::vector<std::unique_ptr<TrieIndex>> indexes_;
+  std::vector<std::vector<int>> atom_vars_;  // sorted GAO positions per atom
+  std::vector<bool> skeleton_;
+  std::vector<GapCache> caches_;
+  uint64_t last_depth_mask_ = 0;
+};
+
+}  // namespace
+
+ExecResult MinesweeperEngine::Execute(const BoundQuery& q,
+                                      const ExecOptions& opts) const {
+  ExecResult result;
+  MsRun run(options_, q, opts, &result);
+  run.Run();
+  return result;
+}
+
+}  // namespace wcoj

@@ -1,0 +1,114 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "graph/generators.h"
+
+namespace wcoj {
+
+namespace {
+
+// Mirrored sizes: paper sizes divided by ~50 and clamped so the whole
+// suite runs on one core; relative ordering and average degree preserved.
+int64_t MirrorEdges(int64_t paper_edges) {
+  return std::clamp<int64_t>(paper_edges / 50, 600, 60000);
+}
+
+int64_t MirrorNodes(int64_t paper_nodes, int64_t paper_edges,
+                    int64_t mirror_edges) {
+  const double degree_ratio =
+      static_cast<double>(paper_nodes) / static_cast<double>(paper_edges);
+  return std::max<int64_t>(32, static_cast<int64_t>(mirror_edges * degree_ratio));
+}
+
+DatasetSpec Make(const std::string& name, int64_t nodes, int64_t edges,
+                 SkewClass skew, bool small) {
+  DatasetSpec s;
+  s.name = name;
+  s.paper_nodes = nodes;
+  s.paper_edges = edges;
+  s.edges = MirrorEdges(edges);
+  s.nodes = MirrorNodes(nodes, edges, s.edges);
+  s.skew = skew;
+  s.small = small;
+  return s;
+}
+
+uint64_t NameSeed(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>* const kDatasets = new std::vector<
+      DatasetSpec>{
+      // name, paper nodes, paper edges, skew class, "small dataset" bucket
+      Make("wiki-Vote", 7115, 103689, SkewClass::kCommunity, false),
+      Make("p2p-Gnutella31", 62586, 147892, SkewClass::kUniform, false),
+      Make("p2p-Gnutella04", 10876, 39994, SkewClass::kUniform, true),
+      Make("loc-Brightkite", 58228, 428156, SkewClass::kCommunity, false),
+      Make("ego-Facebook", 4039, 88234, SkewClass::kPowerLaw, true),
+      Make("email-Enron", 36692, 367662, SkewClass::kCommunity, false),
+      Make("ca-GrQc", 5242, 28980, SkewClass::kPowerLaw, true),
+      Make("ca-CondMat", 23133, 186936, SkewClass::kPowerLaw, false),
+      Make("ego-Twitter", 81306, 2420766, SkewClass::kCommunity, false),
+      Make("soc-Slashdot0902", 82168, 948464, SkewClass::kCommunity, false),
+      Make("soc-Slashdot0811", 77360, 905468, SkewClass::kCommunity, false),
+      Make("soc-Epinions1", 75879, 508837, SkewClass::kCommunity, false),
+      Make("soc-Pokec", 1632803, 30622564, SkewClass::kCommunity, false),
+      Make("soc-LiveJournal1", 4847571, 68993773, SkewClass::kCommunity,
+           false),
+      Make("com-Orkut", 3072441, 117185083, SkewClass::kCommunity, false),
+  };
+  return *kDatasets;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const auto& s : AllDatasets()) {
+    if (s.name == name) return s;
+  }
+  assert(false && "unknown dataset");
+  __builtin_trap();
+}
+
+double EnvScale() {
+  const char* env = std::getenv("WCOJ_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+Graph LoadDataset(const DatasetSpec& spec, double scale) {
+  const int64_t edges = std::max<int64_t>(64, spec.edges * scale);
+  const int64_t nodes = std::max<int64_t>(32, spec.nodes * scale);
+  const uint64_t seed = NameSeed(spec.name);
+  switch (spec.skew) {
+    case SkewClass::kUniform:
+      return ErdosRenyi(nodes, edges, seed);
+    case SkewClass::kPowerLaw: {
+      const int attach = std::max<int64_t>(1, edges / std::max<int64_t>(nodes, 1));
+      return BarabasiAlbert(nodes, static_cast<int>(attach), seed);
+    }
+    case SkewClass::kCommunity: {
+      const int sc = std::max(5, static_cast<int>(std::ceil(std::log2(
+                                     static_cast<double>(nodes)))));
+      return Rmat(sc, edges, 0.57, 0.19, 0.19, seed);
+    }
+  }
+  __builtin_trap();
+}
+
+Graph LoadDataset(const std::string& name) {
+  return LoadDataset(DatasetByName(name), EnvScale());
+}
+
+}  // namespace wcoj

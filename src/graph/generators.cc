@@ -1,0 +1,84 @@
+#include "graph/generators.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wcoj {
+
+Graph ErdosRenyi(int64_t num_nodes, int64_t num_edges, uint64_t seed) {
+  assert(num_nodes >= 2);
+  Graph g(num_nodes);
+  Rng rng(seed);
+  // Sample with replacement; Build() de-dupes. Overshoot a little so the
+  // final count is close to the request on sparse graphs.
+  const int64_t attempts = num_edges + num_edges / 16 + 8;
+  for (int64_t i = 0; i < attempts; ++i) {
+    const int64_t u = static_cast<int64_t>(rng.NextBounded(num_nodes));
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(num_nodes));
+    g.AddEdge(u, v);
+  }
+  g.Build();
+  return g;
+}
+
+Graph BarabasiAlbert(int64_t num_nodes, int attach_per_node, uint64_t seed) {
+  assert(num_nodes > attach_per_node && attach_per_node >= 1);
+  Graph g(num_nodes);
+  Rng rng(seed);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // implements preferential attachment.
+  std::vector<int64_t> endpoints;
+  endpoints.reserve(2 * num_nodes * attach_per_node);
+  // Seed clique over the first attach_per_node+1 nodes.
+  for (int64_t u = 0; u <= attach_per_node; ++u) {
+    for (int64_t v = u + 1; v <= attach_per_node; ++v) {
+      g.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (int64_t u = attach_per_node + 1; u < num_nodes; ++u) {
+    for (int k = 0; k < attach_per_node; ++k) {
+      const int64_t v = endpoints[rng.NextBounded(endpoints.size())];
+      g.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  g.Build();
+  return g;
+}
+
+Graph Rmat(int scale, int64_t num_edges, double a, double b, double c,
+           uint64_t seed) {
+  assert(scale >= 1 && scale < 31);
+  const int64_t n = int64_t{1} << scale;
+  Graph g(n);
+  Rng rng(seed);
+  const int64_t attempts = num_edges + num_edges / 8 + 8;
+  for (int64_t i = 0; i < attempts; ++i) {
+    int64_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    g.AddEdge(u, v);
+  }
+  g.Build();
+  return g;
+}
+
+}  // namespace wcoj

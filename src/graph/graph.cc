@@ -1,0 +1,70 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcoj {
+
+void Graph::AddEdge(int64_t u, int64_t v) {
+  assert(!built_);
+  assert(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  if (u == v) return;  // drop self-loops eagerly
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+void Graph::Build() {
+  if (built_) return;
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (int64_t i = 0; i < num_nodes_; ++i) offsets_[i + 1] += offsets_[i];
+  targets_.resize(edges_.size() * 2);
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    targets_[cursor[u]++] = v;
+    targets_[cursor[v]++] = u;
+  }
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    std::sort(targets_.begin() + offsets_[v], targets_.begin() + offsets_[v + 1]);
+  }
+  built_ = true;
+}
+
+Relation Graph::EdgeRelationSymmetric() const {
+  assert(built_);
+  Relation r(2);
+  for (const auto& [u, v] : edges_) {
+    r.Add({u, v});
+    r.Add({v, u});
+  }
+  r.Build();
+  return r;
+}
+
+Relation Graph::EdgeRelationOriented() const {
+  assert(built_);
+  Relation r(2);
+  for (const auto& [u, v] : edges_) r.Add({u, v});
+  r.Build();
+  return r;
+}
+
+Relation Graph::NodeRelation() const {
+  Relation r(1);
+  for (int64_t v = 0; v < num_nodes_; ++v) r.Add({v});
+  r.Build();
+  return r;
+}
+
+std::string Graph::DebugString() const {
+  return "Graph(nodes=" + std::to_string(num_nodes_) +
+         ", edges=" + std::to_string(num_edges()) + ")";
+}
+
+}  // namespace wcoj

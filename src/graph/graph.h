@@ -1,0 +1,58 @@
+#ifndef WCOJ_GRAPH_GRAPH_H_
+#define WCOJ_GRAPH_GRAPH_H_
+
+// Simple undirected graph container used by the graph-pattern workloads.
+//
+// Graphs are normalized on Build(): self-loops dropped, parallel edges
+// de-duplicated, endpoints stored with u < v. Engines consume graphs as
+// edge Relations; the specialized clique engine uses the CSR view.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace wcoj {
+
+class Graph {
+ public:
+  explicit Graph(int64_t num_nodes) : num_nodes_(num_nodes) {}
+
+  void AddEdge(int64_t u, int64_t v);
+  // Normalizes (dedup, drop loops, u<v) and builds the CSR view.
+  void Build();
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  const std::vector<std::pair<int64_t, int64_t>>& edges() const {
+    return edges_;
+  }
+
+  // CSR over the symmetric closure: neighbors of each node, sorted.
+  const std::vector<int64_t>& AdjOffsets() const { return offsets_; }
+  const std::vector<int64_t>& AdjTargets() const { return targets_; }
+  int64_t Degree(int64_t v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  // Symmetric edge relation {(u,v), (v,u)} — what the paper's `edge`
+  // predicate denotes for path/tree/comb queries on undirected graphs.
+  Relation EdgeRelationSymmetric() const;
+  // Oriented edge relation {(u,v) : u < v} — with `a<b<c` filters this is
+  // the standard encoding for clique/cycle queries.
+  Relation EdgeRelationOriented() const;
+  // All nodes as a unary relation.
+  Relation NodeRelation() const;
+
+  std::string DebugString() const;
+
+ private:
+  int64_t num_nodes_;
+  bool built_ = false;
+  std::vector<std::pair<int64_t, int64_t>> edges_;
+  std::vector<int64_t> offsets_, targets_;
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_GRAPH_GRAPH_H_

@@ -1,0 +1,49 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wcoj {
+
+Relation SampleNodes(const Graph& g, double selectivity, uint64_t seed) {
+  assert(selectivity >= 1.0);
+  Rng rng(seed);
+  Relation r(1);
+  bool any = false;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (rng.NextBernoulli(1.0 / selectivity)) {
+      r.Add({v});
+      any = true;
+    }
+  }
+  // Guarantee non-emptiness so joins are not trivially empty on tiny
+  // datasets with high selectivity.
+  if (!any && g.num_nodes() > 0) {
+    r.Add({static_cast<Value>(rng.NextBounded(g.num_nodes()))});
+  }
+  r.Build();
+  return r;
+}
+
+Relation SampleNodesExact(const Graph& g, int64_t count, uint64_t seed) {
+  assert(count >= 0);
+  count = std::min(count, g.num_nodes());
+  // Partial Fisher–Yates over node ids.
+  std::vector<int64_t> ids(g.num_nodes());
+  for (int64_t i = 0; i < g.num_nodes(); ++i) ids[i] = i;
+  Rng rng(seed);
+  Relation r(1);
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t j = i + static_cast<int64_t>(
+                              rng.NextBounded(ids.size() - i));
+    std::swap(ids[i], ids[j]);
+    r.Add({ids[i]});
+  }
+  r.Build();
+  return r;
+}
+
+}  // namespace wcoj

@@ -1,0 +1,24 @@
+#ifndef WCOJ_GRAPH_SAMPLING_H_
+#define WCOJ_GRAPH_SAMPLING_H_
+
+// Node sampling for the paper's `v1`/`v2` predicates (§5.1): a random
+// sample of nodes where each node is kept with probability 1/selectivity.
+// Selectivity 10 keeps ~10% of nodes, 100 keeps ~1%, etc.
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "storage/relation.h"
+
+namespace wcoj {
+
+// Unary relation of sampled node ids; deterministic in (graph size, seed).
+Relation SampleNodes(const Graph& g, double selectivity, uint64_t seed);
+
+// Exactly `count` distinct nodes (used for the figure 3-5 sweeps where the
+// x-axis is the absolute sample size N).
+Relation SampleNodesExact(const Graph& g, int64_t count, uint64_t seed);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_GRAPH_SAMPLING_H_

@@ -1,0 +1,125 @@
+#include "graphalgo/algorithms.h"
+
+#include <cassert>
+#include <map>
+#include <queue>
+#include <utility>
+
+namespace wcoj {
+
+std::vector<int64_t> Bfs(const Graph& g, int64_t source) {
+  assert(source >= 0 && source < g.num_nodes());
+  std::vector<int64_t> dist(g.num_nodes(), -1);
+  std::queue<int64_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  const auto& offsets = g.AdjOffsets();
+  const auto& targets = g.AdjTargets();
+  while (!frontier.empty()) {
+    const int64_t u = frontier.front();
+    frontier.pop();
+    for (int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const int64_t v = targets[i];
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> ShortestPaths(const Graph& g, int64_t source,
+                                   const std::vector<int64_t>& weights) {
+  assert(source >= 0 && source < g.num_nodes());
+  assert(weights.empty() ||
+         weights.size() == static_cast<size_t>(g.num_edges()));
+  // Weight lookup per undirected edge {u,v}: from the aligned vector when
+  // provided, else the deterministic synthetic weight.
+  std::map<std::pair<int64_t, int64_t>, int64_t> weight_of;
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const auto& [u, v] = g.edges()[i];
+    const int64_t w = weights.empty() ? 1 + ((u + v) % 4) : weights[i];
+    assert(w >= 0);
+    weight_of[{u, v}] = w;
+  }
+  auto edge_weight = [&](int64_t u, int64_t v) {
+    if (u > v) std::swap(u, v);
+    return weight_of.at({u, v});
+  };
+
+  std::vector<int64_t> dist(g.num_nodes(), -1);
+  using Entry = std::pair<int64_t, int64_t>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  const auto& offsets = g.AdjOffsets();
+  const auto& targets = g.AdjTargets();
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;  // stale entry
+    for (int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const int64_t v = targets[i];
+      const int64_t nd = d + edge_weight(u, v);
+      if (dist[v] < 0 || nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> ConnectedComponents(const Graph& g) {
+  std::vector<int64_t> comp(g.num_nodes(), -1);
+  const auto& offsets = g.AdjOffsets();
+  const auto& targets = g.AdjTargets();
+  for (int64_t s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = s;  // s is the smallest node of its component (scan order)
+    std::queue<int64_t> frontier;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const int64_t u = frontier.front();
+      frontier.pop();
+      for (int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        const int64_t v = targets[i];
+        if (comp[v] < 0) {
+          comp[v] = s;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+std::vector<double> PageRank(const Graph& g, int iterations, double damping) {
+  const int64_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n), next(n);
+  const auto& offsets = g.AdjOffsets();
+  const auto& targets = g.AdjTargets();
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Degree-0 nodes dangle: their mass redistributes uniformly.
+    double dangling = 0.0;
+    for (int64_t v = 0; v < n; ++v) {
+      if (g.Degree(v) == 0) dangling += rank[v];
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    for (int64_t v = 0; v < n; ++v) next[v] = base;
+    for (int64_t u = 0; u < n; ++u) {
+      const int64_t deg = g.Degree(u);
+      if (deg == 0) continue;
+      const double share = damping * rank[u] / deg;
+      for (int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        next[targets[i]] += share;
+      }
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace wcoj

@@ -1,0 +1,36 @@
+#ifndef WCOJ_GRAPHALGO_ALGORITHMS_H_
+#define WCOJ_GRAPHALGO_ALGORITHMS_H_
+
+// Graph-style processing over the CSR substrate — the paper's named
+// future-work direction ("extend this benchmark to ... BFS, shortest
+// path, page rank"). These run on the same Graph the join engines
+// consume, so workloads can mix pattern matching with traversal
+// analytics.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wcoj {
+
+// Distance (in hops) from `source` to every node; -1 for unreachable.
+std::vector<int64_t> Bfs(const Graph& g, int64_t source);
+
+// Single-source shortest paths with per-edge weight 1 + ((u + v) % 4)
+// when `weights` is empty, or the given per-edge weights (aligned with
+// g.edges(), applied symmetrically). Dijkstra; -1 for unreachable.
+std::vector<int64_t> ShortestPaths(const Graph& g, int64_t source,
+                                   const std::vector<int64_t>& weights = {});
+
+// Connected component id per node (ids are the smallest member node).
+std::vector<int64_t> ConnectedComponents(const Graph& g);
+
+// PageRank with damping 0.85; `iterations` synchronous sweeps. Isolated
+// nodes keep the teleport mass. Returns one score per node, summing ~1.
+std::vector<double> PageRank(const Graph& g, int iterations = 30,
+                             double damping = 0.85);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_GRAPHALGO_ALGORITHMS_H_

@@ -1,0 +1,28 @@
+#include "parallel/job_pool.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace wcoj {
+
+void JobPool::Run(const std::vector<std::function<void()>>& jobs) const {
+  std::atomic<size_t> cursor{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1);
+      if (i >= jobs.size()) return;
+      jobs[i]();
+    }
+  };
+  const int threads = std::max(1, std::min<int>(num_threads_, jobs.size()));
+  if (threads == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace wcoj

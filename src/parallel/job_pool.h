@@ -1,0 +1,31 @@
+#ifndef WCOJ_PARALLEL_JOB_POOL_H_
+#define WCOJ_PARALLEL_JOB_POOL_H_
+
+// Minimal job pool with work stealing (§4.10): jobs are pulled from a
+// shared atomic cursor, so a thread that finishes early immediately grabs
+// the next unclaimed job — the LogicBlox "job pool" behaviour the paper's
+// granularity-factor experiment (Table 5) relies on.
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+namespace wcoj {
+
+class JobPool {
+ public:
+  explicit JobPool(int num_threads) : num_threads_(num_threads) {}
+
+  // Runs all jobs; returns when every job has finished. Jobs must be
+  // independently executable from any thread.
+  void Run(const std::vector<std::function<void()>>& jobs) const;
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  int num_threads_;
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_PARALLEL_JOB_POOL_H_

@@ -1,0 +1,67 @@
+#include "parallel/partitioned_run.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "parallel/job_pool.h"
+
+namespace wcoj {
+
+ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
+                              const ExecOptions& opts, int num_threads,
+                              int granularity) {
+  // Domain of the first GAO variable: union over atoms containing it.
+  Value lo = kPosInf, hi = kNegInf;
+  for (const auto& atom : q.atoms) {
+    for (size_t c = 0; c < atom.vars.size(); ++c) {
+      if (atom.vars[c] != 0) continue;
+      for (size_t r = 0; r < atom.relation->size(); ++r) {
+        lo = std::min(lo, atom.relation->At(r, static_cast<int>(c)));
+        hi = std::max(hi, atom.relation->At(r, static_cast<int>(c)));
+      }
+    }
+  }
+  if (lo > hi) {  // variable 0 has an empty domain: empty result
+    return ExecResult{};
+  }
+  lo = std::max(lo, opts.var0_min);
+  hi = std::min(hi, opts.var0_max);
+  if (lo > hi) return ExecResult{};
+
+  const int parts = std::max(1, num_threads * granularity);
+  const Value span = hi - lo + 1;
+  ExecResult total;
+  std::mutex mu;
+  std::vector<std::function<void()>> jobs;
+  for (int p = 0; p < parts; ++p) {
+    const Value a = lo + span * p / parts;
+    const Value b = lo + span * (p + 1) / parts - 1;
+    if (a > b) continue;
+    jobs.push_back([&, a, b]() {
+      ExecOptions job_opts = opts;
+      job_opts.var0_min = a;
+      job_opts.var0_max = b;
+      ExecResult r = engine.Execute(q, job_opts);
+      std::lock_guard<std::mutex> lock(mu);
+      total.count += r.count;
+      total.timed_out |= r.timed_out;
+      total.stats.seeks += r.stats.seeks;
+      total.stats.constraints_inserted += r.stats.constraints_inserted;
+      total.stats.free_tuples += r.stats.free_tuples;
+      total.stats.gap_cache_hits += r.stats.gap_cache_hits;
+      total.stats.intermediate_tuples += r.stats.intermediate_tuples;
+      if (opts.collect_tuples) {
+        total.tuples.insert(total.tuples.end(), r.tuples.begin(),
+                            r.tuples.end());
+      }
+    });
+  }
+  JobPool(num_threads).Run(jobs);
+  if (opts.collect_tuples) {
+    std::sort(total.tuples.begin(), total.tuples.end());
+  }
+  return total;
+}
+
+}  // namespace wcoj

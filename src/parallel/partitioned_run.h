@@ -1,0 +1,20 @@
+#ifndef WCOJ_PARALLEL_PARTITIONED_RUN_H_
+#define WCOJ_PARALLEL_PARTITIONED_RUN_H_
+
+// Output-space partitioning (§4.10): the first GAO variable's domain is
+// split into num_threads * granularity equal-width ranges; each range is a
+// job restricting the engine via ExecOptions::var0_{min,max}. Granularity
+// > 1 provides work stealing slack for skewed (cyclic) queries — the
+// paper uses f=1 for acyclic and f=8 for cyclic queries.
+
+#include "core/engine.h"
+
+namespace wcoj {
+
+ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
+                              const ExecOptions& opts, int num_threads,
+                              int granularity);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_PARALLEL_PARTITIONED_RUN_H_

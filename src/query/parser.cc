@@ -1,0 +1,105 @@
+#include "query/parser.h"
+
+#include <cassert>
+#include <cctype>
+
+namespace wcoj {
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(Peek())) ++pos_;
+  }
+  bool Done() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    SkipSpace();
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  // [A-Za-z_][A-Za-z0-9_]*
+  std::string Ident() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (std::isalpha(Peek()) || Peek() == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() && (std::isalnum(Peek()) || Peek() == '_')) {
+        ++pos_;
+      }
+    }
+    return text_.substr(start, pos_ - start);
+  }
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult ParseQuery(const std::string& text) {
+  ParseResult result;
+  Scanner s(text);
+  auto fail = [&](const std::string& msg) {
+    result.ok = false;
+    result.error = msg + " at offset " + std::to_string(s.pos());
+    return result;
+  };
+
+  while (!s.Done()) {
+    std::string name = s.Ident();
+    if (name.empty()) return fail("expected identifier");
+    if (s.Eat('(')) {
+      Atom atom;
+      atom.relation = name;
+      for (;;) {
+        std::string v = s.Ident();
+        if (v.empty()) return fail("expected variable");
+        atom.vars.push_back(v);
+        if (s.Eat(')')) break;
+        if (!s.Eat(',')) return fail("expected ',' or ')'");
+      }
+      result.query.atoms.push_back(std::move(atom));
+    } else if (s.Eat('<')) {
+      // Inequality chain: name < v1 < v2 ...
+      std::string prev = name;
+      for (;;) {
+        std::string v = s.Ident();
+        if (v.empty()) return fail("expected variable after '<'");
+        result.query.filters.push_back({prev, v});
+        prev = v;
+        if (!s.Eat('<')) break;
+      }
+    } else {
+      return fail("expected '(' or '<' after identifier");
+    }
+    if (s.Done()) break;
+    if (!s.Eat(',')) return fail("expected ',' between terms");
+  }
+  if (result.query.atoms.empty()) return fail("query has no atoms");
+  result.ok = true;
+  return result;
+}
+
+Query MustParseQuery(const std::string& text) {
+  ParseResult r = ParseQuery(text);
+  assert(r.ok && "MustParseQuery failed");
+  if (!r.ok) {
+    // Assertions may be compiled out; fail loudly either way.
+    __builtin_trap();
+  }
+  return r.query;
+}
+
+}  // namespace wcoj

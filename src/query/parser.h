@@ -1,0 +1,32 @@
+#ifndef WCOJ_QUERY_PARSER_H_
+#define WCOJ_QUERY_PARSER_H_
+
+// Tiny Datalog-ish body parser for the paper's query notation, e.g.
+//
+//   "edge(a,b), edge(b,c), edge(a,c), a<b<c"
+//   "v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)"
+//
+// Grammar: comma-separated terms; a term is either `name(v1,...,vk)` or a
+// chain `x<y<z` (desugared into pairwise filters). Whitespace is free.
+
+#include <optional>
+#include <string>
+
+#include "query/query.h"
+
+namespace wcoj {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;
+  Query query;
+};
+
+ParseResult ParseQuery(const std::string& text);
+
+// Convenience: parses or dies. For tests and benches with literal queries.
+Query MustParseQuery(const std::string& text);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_QUERY_PARSER_H_

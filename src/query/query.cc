@@ -1,0 +1,96 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcoj {
+
+std::vector<std::string> Query::Variables() const {
+  std::vector<std::string> vars;
+  auto add = [&](const std::string& v) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  for (const auto& atom : atoms) {
+    for (const auto& v : atom.vars) add(v);
+  }
+  for (const auto& f : filters) {
+    add(f.lo);
+    add(f.hi);
+  }
+  return vars;
+}
+
+std::string Query::DebugString() const {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms[i].relation + "(";
+    for (size_t j = 0; j < atoms[i].vars.size(); ++j) {
+      if (j > 0) out += ",";
+      out += atoms[i].vars[j];
+    }
+    out += ")";
+  }
+  for (const auto& f : filters) out += ", " + f.lo + "<" + f.hi;
+  return out;
+}
+
+std::vector<int> BoundQuery::AtomVarsSorted(size_t i) const {
+  std::vector<int> vs = atoms[i].vars;
+  std::sort(vs.begin(), vs.end());
+  return vs;
+}
+
+std::string BoundQuery::DebugString() const {
+  std::string out = "vars[";
+  for (int i = 0; i < num_vars; ++i) {
+    if (i > 0) out += ",";
+    out += var_names.empty() ? std::to_string(i) : var_names[i];
+  }
+  out += "]";
+  return out;
+}
+
+BoundQuery Bind(const Query& query,
+                const std::map<std::string, const Relation*>& relations,
+                const std::vector<std::string>& gao) {
+  BoundQuery bq;
+  bq.num_vars = static_cast<int>(gao.size());
+  bq.var_names = gao;
+
+  std::map<std::string, int> pos;
+  for (size_t i = 0; i < gao.size(); ++i) {
+    assert(!pos.count(gao[i]) && "duplicate variable in GAO");
+    pos[gao[i]] = static_cast<int>(i);
+  }
+  // Every query variable must be covered by the GAO.
+  for (const auto& v : query.Variables()) {
+    assert(pos.count(v) && "GAO must cover all query variables");
+    (void)v;
+  }
+
+  for (const auto& atom : query.atoms) {
+    auto it = relations.find(atom.relation);
+    assert(it != relations.end() && "unknown relation in query");
+    BoundAtom ba;
+    ba.relation = it->second;
+    assert(it->second->arity() == static_cast<int>(atom.vars.size()));
+    for (const auto& v : atom.vars) ba.vars.push_back(pos.at(v));
+    bq.atoms.push_back(std::move(ba));
+  }
+  for (const auto& f : query.filters) {
+    bq.less_than.emplace_back(pos.at(f.lo), pos.at(f.hi));
+  }
+  return bq;
+}
+
+bool FiltersOk(const BoundQuery& q, const Tuple& t, int prefix_len) {
+  for (const auto& [lo, hi] : q.less_than) {
+    if (lo < prefix_len && hi < prefix_len && !(t[lo] < t[hi])) return false;
+  }
+  return true;
+}
+
+}  // namespace wcoj

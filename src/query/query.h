@@ -1,0 +1,76 @@
+#ifndef WCOJ_QUERY_QUERY_H_
+#define WCOJ_QUERY_QUERY_H_
+
+// Query model.
+//
+// A Query is the name-level form produced by the parser or by builders:
+// atoms over named relations with named variables, plus strict "<" filters
+// (the paper's `a<b<c` side conditions on clique/cycle queries).
+//
+// A BoundQuery is the engine-level form: relation pointers, and variables
+// renamed to their positions in the chosen global attribute order (GAO),
+// so variable id == GAO depth. All engines consume BoundQuery.
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace wcoj {
+
+struct Atom {
+  std::string relation;
+  std::vector<std::string> vars;
+};
+
+// Represents `lo < hi`.
+struct Filter {
+  std::string lo;
+  std::string hi;
+};
+
+struct Query {
+  std::vector<Atom> atoms;
+  std::vector<Filter> filters;
+
+  // Variables in order of first appearance.
+  std::vector<std::string> Variables() const;
+  std::string DebugString() const;
+};
+
+struct BoundAtom {
+  const Relation* relation = nullptr;
+  // vars[i] = GAO position of the variable at relation column i.
+  std::vector<int> vars;
+};
+
+struct BoundQuery {
+  int num_vars = 0;
+  std::vector<BoundAtom> atoms;
+  // Pairs (a, b) meaning value(a) < value(b), with a, b GAO positions.
+  std::vector<std::pair<int, int>> less_than;
+  std::vector<std::string> var_names;  // indexed by GAO position
+
+  // Sorted GAO positions of atom `i`'s variables.
+  std::vector<int> AtomVarsSorted(size_t i) const;
+  std::string DebugString() const;
+};
+
+// Binds `query` against `relations` using `gao` (a permutation of the
+// query's variables; every query variable must appear exactly once).
+// Dies (assert) on unknown relation names or malformed GAOs: callers are
+// in-process test/bench code, not an untrusted boundary.
+BoundQuery Bind(const Query& query,
+                const std::map<std::string, const Relation*>& relations,
+                const std::vector<std::string>& gao);
+
+// True if `t` (indexed by GAO position; entries may be partial up to
+// `prefix_len`) satisfies every filter whose two variables are below
+// `prefix_len`.
+bool FiltersOk(const BoundQuery& q, const Tuple& t, int prefix_len);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_QUERY_QUERY_H_

@@ -1,0 +1,110 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wcoj {
+
+namespace {
+
+// Sorts row indices lexicographically, then rewrites the flat array.
+void SortRows(int arity, std::vector<Value>* data) {
+  const size_t n = data->size() / arity;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  const Value* d = data->data();
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::lexicographical_compare(d + a * arity, d + (a + 1) * arity,
+                                        d + b * arity, d + (b + 1) * arity);
+  });
+  std::vector<Value> sorted;
+  sorted.reserve(data->size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value* row = d + order[i] * arity;
+    // Skip duplicates of the previous emitted row.
+    if (!sorted.empty() &&
+        std::equal(row, row + arity, sorted.end() - arity)) {
+      continue;
+    }
+    sorted.insert(sorted.end(), row, row + arity);
+  }
+  *data = std::move(sorted);
+}
+
+}  // namespace
+
+Relation Relation::FromTuples(int arity, const std::vector<Tuple>& tuples) {
+  Relation r(arity);
+  for (const auto& t : tuples) r.Add(t);
+  r.Build();
+  return r;
+}
+
+void Relation::Add(const Tuple& t) {
+  assert(!built_);
+  assert(static_cast<int>(t.size()) == arity_);
+  data_.insert(data_.end(), t.begin(), t.end());
+}
+
+void Relation::Add(std::initializer_list<Value> t) {
+  assert(!built_);
+  assert(static_cast<int>(t.size()) == arity_);
+  data_.insert(data_.end(), t.begin(), t.end());
+}
+
+void Relation::Build() {
+  if (built_) return;
+  SortRows(arity_, &data_);
+  built_ = true;
+}
+
+Tuple Relation::RowTuple(size_t row) const {
+  const Value* r = Row(row);
+  return Tuple(r, r + arity_);
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  assert(built_ && static_cast<int>(t.size()) == arity_);
+  size_t lo = 0, hi = size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const Value* row = Row(mid);
+    const int cmp = std::lexicographical_compare_three_way(
+                        row, row + arity_, t.data(), t.data() + arity_) < 0
+                        ? -1
+                        : (std::equal(row, row + arity_, t.data()) ? 0 : 1);
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+Relation Relation::Permuted(const std::vector<int>& perm) const {
+  assert(built_ && static_cast<int>(perm.size()) == arity_);
+  Relation out(arity_);
+  Tuple tmp(arity_);
+  for (size_t i = 0; i < size(); ++i) {
+    const Value* row = Row(i);
+    for (int c = 0; c < arity_; ++c) tmp[c] = row[perm[c]];
+    out.Add(tmp);
+  }
+  out.Build();
+  return out;
+}
+
+std::string Relation::DebugString(size_t max_rows) const {
+  std::string out = "Relation(arity=" + std::to_string(arity_) +
+                    ", size=" + std::to_string(size()) + ") {";
+  for (size_t i = 0; i < size() && i < max_rows; ++i) {
+    out += (i ? ", " : " ") + TupleToString(RowTuple(i));
+  }
+  if (size() > max_rows) out += ", ...";
+  out += " }";
+  return out;
+}
+
+}  // namespace wcoj

@@ -1,0 +1,148 @@
+#include "storage/trie.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcoj {
+
+namespace {
+
+// Galloping lower bound for `v` in rows [lo, hi) of column `col`.
+size_t Gallop(const Relation& rel, size_t lo, size_t hi, int col, Value v,
+              bool upper) {
+  // Exponential probe from lo to bracket the answer, then binary search.
+  auto before = [&](size_t row) {
+    const Value x = rel.At(row, col);
+    return upper ? x <= v : x < v;
+  };
+  size_t step = 1;
+  size_t b = lo;
+  while (b < hi && before(b)) {
+    b = lo + step;
+    step <<= 1;
+  }
+  b = std::min(b, hi);
+  size_t a = lo;
+  while (a < b) {
+    const size_t mid = a + (b - a) / 2;
+    if (before(mid)) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm)
+    : data_(rel.arity()), perm_(std::move(perm)) {
+  assert(rel.built());
+  if (perm_.empty()) {
+    perm_.resize(rel.arity());
+    for (int i = 0; i < rel.arity(); ++i) perm_[i] = i;
+    data_ = rel;
+  } else {
+    data_ = rel.Permuted(perm_);
+  }
+}
+
+size_t TrieIndex::LowerBound(size_t lo, size_t hi, int col, Value v) const {
+  return Gallop(data_, lo, hi, col, v, /*upper=*/false);
+}
+
+size_t TrieIndex::UpperBound(size_t lo, size_t hi, int col, Value v) const {
+  return Gallop(data_, lo, hi, col, v, /*upper=*/true);
+}
+
+TrieIndex::GapProbe TrieIndex::SeekGap(const Tuple& t,
+                                       uint64_t* seek_counter) const {
+  assert(static_cast<int>(t.size()) == arity());
+  GapProbe probe;
+  size_t lo = 0, hi = data_.size();
+  for (int d = 0; d < arity(); ++d) {
+    if (seek_counter != nullptr) ++*seek_counter;
+    const size_t run_lo = LowerBound(lo, hi, d, t[d]);
+    const size_t run_hi = UpperBound(run_lo, hi, d, t[d]);
+    if (run_lo == run_hi) {
+      // t[d] absent under this prefix: the gap is (glb, lub) at depth d.
+      probe.found = false;
+      probe.fail_pos = d;
+      probe.glb = run_lo > lo ? data_.At(run_lo - 1, d) : kNegInf;
+      probe.lub = run_lo < hi ? data_.At(run_lo, d) : kPosInf;
+      return probe;
+    }
+    lo = run_lo;
+    hi = run_hi;
+  }
+  probe.found = true;
+  probe.fail_pos = arity();
+  return probe;
+}
+
+TrieIterator::TrieIterator(const TrieIndex* index)
+    : index_(index), depth_(-1) {
+  levels_.reserve(index->arity());
+}
+
+bool TrieIterator::AtEnd() const {
+  assert(depth_ >= 0);
+  const Level& lv = levels_[depth_];
+  return lv.pos >= lv.group_hi;
+}
+
+Value TrieIterator::Key() const {
+  assert(depth_ >= 0 && !AtEnd());
+  return index_->data().At(levels_[depth_].pos, depth_);
+}
+
+void TrieIterator::FixRun(Level* lv) {
+  if (lv->pos >= lv->group_hi) {
+    lv->run_hi = lv->group_hi;
+    return;
+  }
+  const Value v = index_->data().At(lv->pos, depth_);
+  lv->run_hi = index_->UpperBound(lv->pos, lv->group_hi, depth_, v);
+}
+
+void TrieIterator::Open() {
+  size_t lo, hi;
+  if (depth_ < 0) {
+    lo = 0;
+    hi = index_->size();
+  } else {
+    assert(!AtEnd());
+    lo = levels_[depth_].pos;
+    hi = levels_[depth_].run_hi;
+  }
+  ++depth_;
+  if (static_cast<size_t>(depth_) >= levels_.size()) levels_.emplace_back();
+  Level& lv = levels_[depth_];
+  lv.group_lo = lo;
+  lv.group_hi = hi;
+  lv.pos = lo;
+  FixRun(&lv);
+}
+
+void TrieIterator::Up() {
+  assert(depth_ >= 0);
+  --depth_;
+}
+
+void TrieIterator::Next() {
+  assert(!AtEnd());
+  Level& lv = levels_[depth_];
+  lv.pos = lv.run_hi;
+  FixRun(&lv);
+}
+
+void TrieIterator::Seek(Value v) {
+  assert(depth_ >= 0);
+  Level& lv = levels_[depth_];
+  ++seeks_;
+  lv.pos = index_->LowerBound(lv.pos, lv.group_hi, depth_, v);
+  FixRun(&lv);
+}
+
+}  // namespace wcoj

@@ -1,0 +1,93 @@
+#ifndef WCOJ_STORAGE_TRIE_H_
+#define WCOJ_STORAGE_TRIE_H_
+
+// TrieIndex: a sorted-array trie over a Relation, standing in for the
+// LogicBlox B-tree/trie index.
+//
+// The index owns a copy of the relation's tuples reordered by a column
+// permutation (the attribute order the index is built in, cf. the paper's
+// GAO-consistency assumption). Two access paths are provided:
+//
+//  * TrieIterator — the open/up/next/seek interface Leapfrog Triejoin is
+//    written against (Veldhuizen '14, section 3).
+//  * SeekGap — Minesweeper's probe (§4.5): given a projected tuple, either
+//    confirm membership or return the maximal gap box around it via
+//    greatest-lower-bound / least-upper-bound seeks.
+//
+// Seeks use galloping (exponential) search so a run of short moves costs
+// amortized O(1 + log distance), which both algorithms' analyses assume.
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/value.h"
+
+namespace wcoj {
+
+class TrieIndex {
+ public:
+  // `perm[i]` = column of `rel` exposed at trie depth i. Identity if empty.
+  TrieIndex(const Relation& rel, std::vector<int> perm = {});
+
+  int arity() const { return data_.arity(); }
+  size_t size() const { return data_.size(); }
+  const Relation& data() const { return data_; }
+  const std::vector<int>& perm() const { return perm_; }
+
+  // Rows in [lo, hi) whose column `col` equals the value at row `lo`...
+  // Internal helpers used by the iterator; exposed for tests.
+  size_t LowerBound(size_t lo, size_t hi, int col, Value v) const;
+  size_t UpperBound(size_t lo, size_t hi, int col, Value v) const;
+
+  struct GapProbe {
+    bool found = false;  // the whole tuple is present
+    int fail_pos = 0;    // first trie depth where the prefix left the index
+    Value glb = kNegInf;  // greatest indexed value < t[fail_pos] under prefix
+    Value lub = kPosInf;  // least indexed value > t[fail_pos] under prefix
+  };
+
+  // Probes a full tuple over this index's columns (already in trie order).
+  // Counts seeks into *seek_counter when provided.
+  GapProbe SeekGap(const Tuple& t, uint64_t* seek_counter = nullptr) const;
+
+ private:
+  Relation data_;  // tuples in trie order
+  std::vector<int> perm_;
+};
+
+// Cursor over a TrieIndex. Depth -1 is the virtual root; Open() descends,
+// Up() ascends, Next()/Seek() move within the current level's key run.
+class TrieIterator {
+ public:
+  explicit TrieIterator(const TrieIndex* index);
+
+  int depth() const { return depth_; }
+  bool AtEnd() const;
+  Value Key() const;
+
+  void Open();          // requires !AtEnd() at current depth (or root)
+  void Up();            // requires depth >= 0
+  void Next();          // requires !AtEnd()
+  void Seek(Value v);   // least key >= v at current depth; may land AtEnd
+
+  uint64_t seeks() const { return seeks_; }
+
+ private:
+  struct Level {
+    size_t group_lo, group_hi;  // rows matching keys of shallower depths
+    size_t pos;                 // first row of the current key run
+    size_t run_hi;              // one past the current key run
+  };
+
+  void FixRun(Level* lv);
+
+  const TrieIndex* index_;
+  int depth_;
+  std::vector<Level> levels_;
+  uint64_t seeks_ = 0;
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_STORAGE_TRIE_H_

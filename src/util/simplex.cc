@@ -1,0 +1,185 @@
+#include "util/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace wcoj {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Tableau with explicit basis bookkeeping. Columns: structural variables,
+// then surplus variables, then artificial variables, then the RHS.
+class Tableau {
+ public:
+  Tableau(const std::vector<std::vector<double>>& a,
+          const std::vector<double>& b, size_t num_vars)
+      : m_(a.size()), n_(num_vars) {
+    cols_ = n_ + m_ + m_;  // structural + surplus + artificial
+    rows_.assign(m_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(m_, 0);
+    for (size_t i = 0; i < m_; ++i) {
+      double rhs = b[i];
+      double sign = rhs >= 0 ? 1.0 : -1.0;  // keep RHS nonnegative
+      for (size_t j = 0; j < n_; ++j) rows_[i][j] = sign * a[i][j];
+      rows_[i][n_ + i] = sign * -1.0;  // surplus: Ax - s = b
+      rows_[i][n_ + m_ + i] = 1.0;     // artificial
+      rows_[i][cols_] = sign * rhs;
+      basis_[i] = n_ + m_ + i;
+    }
+  }
+
+  // Minimizes `obj` (size cols_) over the current feasible region.
+  // Returns false if unbounded.
+  bool Minimize(const std::vector<double>& obj) {
+    // Reduced-cost row: z_j - c_j form, recomputed from the basis.
+    std::vector<double> cost(cols_ + 1, 0.0);
+    for (size_t j = 0; j <= cols_; ++j) cost[j] = j < cols_ ? -obj[j] : 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      const double cb = obj[basis_[i]];
+      if (cb == 0.0) continue;
+      for (size_t j = 0; j <= cols_; ++j) cost[j] += cb * rows_[i][j];
+    }
+    for (;;) {
+      // Bland's rule: smallest index with positive reduced cost.
+      size_t pivot_col = cols_;
+      for (size_t j = 0; j < cols_; ++j) {
+        if (blocked_[j]) continue;
+        if (cost[j] > kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col == cols_) return true;  // optimal
+      // Ratio test, ties broken by smallest basis index (Bland).
+      size_t pivot_row = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m_; ++i) {
+        if (rows_[i][pivot_col] > kEps) {
+          const double ratio = rows_[i][cols_] / rows_[i][pivot_col];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (pivot_row == m_ || basis_[i] < basis_[pivot_row]))) {
+            best_ratio = ratio;
+            pivot_row = i;
+          }
+        }
+      }
+      if (pivot_row == m_) return false;  // unbounded
+      Pivot(pivot_row, pivot_col, &cost);
+    }
+  }
+
+  double Rhs(size_t row) const { return rows_[row][cols_]; }
+  size_t BasisVar(size_t row) const { return basis_[row]; }
+  size_t num_rows() const { return m_; }
+  size_t num_cols() const { return cols_; }
+
+  // Forbids a column from entering the basis (used to freeze artificials
+  // after phase 1).
+  void Block(size_t col) { blocked_[col] = true; }
+  void InitBlocked() { blocked_.assign(cols_, false); }
+
+  // Drives an artificial variable out of the basis if possible.
+  void DriveOutArtificial(size_t row, size_t num_real_cols) {
+    for (size_t j = 0; j < num_real_cols; ++j) {
+      if (std::fabs(rows_[row][j]) > kEps) {
+        std::vector<double> dummy;  // no cost row to maintain
+        Pivot(row, j, nullptr);
+        return;
+      }
+    }
+    // Row is redundant (all-zero over real columns); leave it, RHS ~ 0.
+  }
+
+ private:
+  void Pivot(size_t pr, size_t pc, std::vector<double>* cost) {
+    const double inv = 1.0 / rows_[pr][pc];
+    for (size_t j = 0; j <= cols_; ++j) rows_[pr][j] *= inv;
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == pr) continue;
+      const double f = rows_[i][pc];
+      if (std::fabs(f) < kEps) continue;
+      for (size_t j = 0; j <= cols_; ++j) rows_[i][j] -= f * rows_[pr][j];
+    }
+    if (cost != nullptr) {
+      const double f = (*cost)[pc];
+      if (std::fabs(f) > kEps) {
+        for (size_t j = 0; j <= cols_; ++j) (*cost)[j] -= f * rows_[pr][j];
+      }
+    }
+    basis_[pr] = pc;
+  }
+
+  size_t m_, n_, cols_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<size_t> basis_;
+  std::vector<bool> blocked_;
+};
+
+}  // namespace
+
+LpResult SolveMinLp(const std::vector<std::vector<double>>& a,
+                    const std::vector<double>& b,
+                    const std::vector<double>& c) {
+  LpResult result;
+  const size_t m = a.size();
+  const size_t n = c.size();
+  for (const auto& row : a) {
+    assert(row.size() == n);
+    (void)row;
+  }
+  assert(b.size() == m);
+  if (m == 0) {
+    result.feasible = true;
+    result.x.assign(n, 0.0);
+    // With x = 0 optimal when c >= 0; this solver is only used with
+    // nonnegative objectives (log relation sizes).
+    result.objective = 0.0;
+    return result;
+  }
+
+  Tableau t(a, b, n);
+  t.InitBlocked();
+
+  // Phase 1: minimize sum of artificials.
+  std::vector<double> phase1(t.num_cols(), 0.0);
+  for (size_t j = n + m; j < n + m + m; ++j) phase1[j] = 1.0;
+  if (!t.Minimize(phase1)) return result;  // cannot happen: bounded below by 0
+  double art_sum = 0.0;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.BasisVar(i) >= n + m) art_sum += t.Rhs(i);
+  }
+  if (art_sum > 1e-7) return result;  // infeasible
+
+  // Drive remaining artificials out of the basis, then block them.
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.BasisVar(i) >= n + m && t.Rhs(i) > -kEps) {
+      t.DriveOutArtificial(i, n + m);
+    }
+  }
+  for (size_t j = n + m; j < n + m + m; ++j) t.Block(j);
+
+  // Phase 2: minimize the real objective.
+  std::vector<double> phase2(t.num_cols(), 0.0);
+  for (size_t j = 0; j < n; ++j) phase2[j] = c[j];
+  if (!t.Minimize(phase2)) {
+    result.feasible = true;
+    result.bounded = false;
+    return result;
+  }
+
+  result.feasible = true;
+  result.x.assign(n, 0.0);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.BasisVar(i) < n) result.x[t.BasisVar(i)] = t.Rhs(i);
+  }
+  result.objective = 0.0;
+  for (size_t j = 0; j < n; ++j) result.objective += c[j] * result.x[j];
+  return result;
+}
+
+}  // namespace wcoj

@@ -1,0 +1,32 @@
+#ifndef WCOJ_UTIL_SIMPLEX_H_
+#define WCOJ_UTIL_SIMPLEX_H_
+
+// Tiny dense two-phase simplex solver.
+//
+// Solves   minimize c.x   subject to  A x >= b,  x >= 0.
+//
+// This is exactly the shape of the fractional-edge-cover linear program
+// behind the AGM output-size bound (Appendix A of the paper): one variable
+// per hyperedge, one ">= 1" covering constraint per vertex, objective
+// log2|R_F|. Problem sizes are tiny (< 10 x 10), so a straightforward
+// Bland's-rule tableau is plenty.
+
+#include <vector>
+
+namespace wcoj {
+
+struct LpResult {
+  bool feasible = false;
+  bool bounded = true;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+// `a` is row-major with `num_vars` columns; `b` has one entry per row;
+// `c` has `num_vars` entries. All x are implicitly >= 0.
+LpResult SolveMinLp(const std::vector<std::vector<double>>& a,
+                    const std::vector<double>& b, const std::vector<double>& c);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_UTIL_SIMPLEX_H_

@@ -1,0 +1,60 @@
+#ifndef WCOJ_UTIL_STOPWATCH_H_
+#define WCOJ_UTIL_STOPWATCH_H_
+
+// Wall-clock timing and cooperative deadlines.
+//
+// Every engine polls a Deadline while it runs so that pathological plans
+// (the paper's "-" timeout cells) terminate gracefully instead of hanging
+// the harness.
+
+#include <chrono>
+#include <cstdint>
+
+namespace wcoj {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// A deadline that is cheap to poll. Infinite() never expires.
+class Deadline {
+ public:
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool Expired() const {
+    return !infinite_ && Clock::now() >= expiry_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Deadline() : infinite_(true) {}
+  bool infinite_;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_UTIL_STOPWATCH_H_

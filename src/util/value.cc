@@ -1,0 +1,32 @@
+#include "util/value.h"
+
+#include <cassert>
+
+namespace wcoj {
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+std::string ValueToString(Value v) {
+  if (v == kNegInf) return "-inf";
+  if (v == kPosInf) return "+inf";
+  return std::to_string(v);
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ValueToString(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wcoj

@@ -1,0 +1,37 @@
+#ifndef WCOJ_UTIL_VALUE_H_
+#define WCOJ_UTIL_VALUE_H_
+
+// Domain values and tuples.
+//
+// Engines work over totally ordered integer domains (node ids in graph
+// workloads). Two sentinel values represent -inf/+inf; they are never valid
+// data values. Minesweeper's frontier additionally uses -1-style "reset"
+// values, which are ordinary (if unusual) domain values and need no special
+// handling here.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wcoj {
+
+using Value = int64_t;
+using Tuple = std::vector<Value>;
+
+inline constexpr Value kNegInf = std::numeric_limits<Value>::min();
+inline constexpr Value kPosInf = std::numeric_limits<Value>::max();
+
+// True for any value that may appear in a relation.
+inline constexpr bool IsFinite(Value v) { return v != kNegInf && v != kPosInf; }
+
+// Lexicographic comparison of equal-arity tuples: <0, 0, >0.
+int CompareTuples(const Tuple& a, const Tuple& b);
+
+// "(3, 7, *)"-style rendering; sentinels print as -inf/+inf.
+std::string ValueToString(Value v);
+std::string TupleToString(const Tuple& t);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_UTIL_VALUE_H_

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/cds.h"
+#include "core/constraint.h"
+#include "util/rng.h"
+
+namespace wcoj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CdsNode interval semantics, checked against a naive interval-set oracle.
+
+class IntervalOracle {
+ public:
+  void Insert(Value l, Value r) { intervals_.push_back({l, r}); }
+
+  bool Covered(Value x) const {
+    for (const auto& [l, r] : intervals_) {
+      if (l < x && x < r) return true;
+    }
+    return false;
+  }
+
+  Value Next(Value x) const {
+    while (Covered(x)) {
+      // Jump to the smallest right endpoint > x among covering intervals.
+      Value best = kPosInf;
+      for (const auto& [l, r] : intervals_) {
+        if (l < x && x < r) best = std::min(best, r);
+      }
+      if (best == kPosInf) return kPosInf;
+      x = best;
+    }
+    return x;
+  }
+
+ private:
+  std::vector<std::pair<Value, Value>> intervals_;
+};
+
+TEST(CdsNodeTest, NextOnEmptyNodeIsIdentity) {
+  CdsNode node(nullptr, kWildcard, 1);
+  EXPECT_EQ(node.Next(-1), -1);
+  EXPECT_EQ(node.Next(42), 42);
+}
+
+TEST(CdsNodeTest, NextSkipsOpenInterval) {
+  CdsNode node(nullptr, kWildcard, 1);
+  node.InsertInterval(5, 7);
+  EXPECT_EQ(node.Next(4), 4);
+  EXPECT_EQ(node.Next(5), 5);  // endpoints are free (open interval)
+  EXPECT_EQ(node.Next(6), 7);
+  EXPECT_EQ(node.Next(7), 7);
+  EXPECT_EQ(node.Next(8), 8);
+}
+
+TEST(CdsNodeTest, TouchingIntervalsLeaveSharedEndpointFree) {
+  // Paper Figure 2: (1,3) and (3,9) keep 3 free, marked both L and R.
+  CdsNode node(nullptr, kWildcard, 1);
+  node.InsertInterval(1, 3);
+  node.InsertInterval(3, 9);
+  EXPECT_EQ(node.Next(2), 3);
+  EXPECT_EQ(node.Next(3), 3);
+  EXPECT_EQ(node.Next(4), 9);
+  EXPECT_EQ(node.NumIntervals(), 2u);
+}
+
+TEST(CdsNodeTest, OverlappingIntervalsMerge) {
+  CdsNode node(nullptr, kWildcard, 1);
+  node.InsertInterval(1, 6);
+  node.InsertInterval(4, 10);
+  EXPECT_EQ(node.Next(2), 10);
+  EXPECT_EQ(node.Next(6), 10);  // 6 was an endpoint but is now interior
+  EXPECT_EQ(node.NumIntervals(), 1u);
+}
+
+TEST(CdsNodeTest, ContainedIntervalIsNoOp) {
+  CdsNode node(nullptr, kWildcard, 1);
+  node.InsertInterval(1, 10);
+  node.InsertInterval(3, 5);
+  EXPECT_EQ(node.Next(2), 10);
+  EXPECT_EQ(node.Next(4), 10);
+  EXPECT_EQ(node.NumIntervals(), 1u);
+}
+
+TEST(CdsNodeTest, InsertDeletesInteriorChildBranches) {
+  CdsNode node(nullptr, kWildcard, 1);
+  uint64_t ids = 10;
+  ASSERT_NE(node.EnsureChild(5, &ids), nullptr);
+  ASSERT_NE(node.EnsureChild(9, &ids), nullptr);
+  node.InsertInterval(3, 7);  // 5 is interior: child branch subsumed
+  EXPECT_EQ(node.Child(5), nullptr);
+  EXPECT_NE(node.Child(9), nullptr);
+}
+
+TEST(CdsNodeTest, EnsureChildRefusesCoveredValues) {
+  CdsNode node(nullptr, kWildcard, 1);
+  node.InsertInterval(3, 7);
+  uint64_t ids = 10;
+  EXPECT_EQ(node.EnsureChild(5, &ids), nullptr);
+  EXPECT_NE(node.EnsureChild(3, &ids), nullptr);  // endpoint is free
+  EXPECT_NE(node.EnsureChild(7, &ids), nullptr);
+}
+
+TEST(CdsNodeTest, HasNoFreeValueOnlyWhenFullyCovered) {
+  CdsNode node(nullptr, kWildcard, 1);
+  EXPECT_FALSE(node.HasNoFreeValue());
+  node.InsertInterval(kNegInf, 100);
+  EXPECT_FALSE(node.HasNoFreeValue());
+  node.InsertInterval(50, kPosInf);
+  EXPECT_TRUE(node.HasNoFreeValue());
+}
+
+TEST(CdsNodeTest, UnboundedIntervalsMergeAcrossInfinity) {
+  CdsNode node(nullptr, kWildcard, 1);
+  node.InsertInterval(kNegInf, 5);
+  node.InsertInterval(3, kPosInf);
+  EXPECT_EQ(node.Next(-1), kPosInf);
+  EXPECT_TRUE(node.HasNoFreeValue());
+}
+
+class CdsNodeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdsNodeFuzzTest, NextMatchesOracleUnderRandomInserts) {
+  Rng rng(GetParam() * 104729 + 17);
+  CdsNode node(nullptr, kWildcard, 1);
+  IntervalOracle oracle;
+  for (int step = 0; step < 200; ++step) {
+    Value l = static_cast<Value>(rng.NextBounded(60)) - 5;
+    Value r = l + 1 + static_cast<Value>(rng.NextBounded(12));
+    if (rng.NextBounded(10) == 0) l = kNegInf;
+    if (rng.NextBounded(10) == 0) r = kPosInf;
+    node.InsertInterval(l, r);
+    oracle.Insert(l, r);
+    for (Value x = -6; x <= 60; ++x) {
+      ASSERT_EQ(node.Next(x), oracle.Next(x))
+          << "x=" << x << " step=" << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdsNodeFuzzTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Cds free-tuple mechanics.
+
+Constraint MakeC(std::vector<Value> pattern, Value lo, Value hi) {
+  Constraint c;
+  c.pattern = std::move(pattern);
+  c.lo = lo;
+  c.hi = hi;
+  return c;
+}
+
+TEST(CdsTest, EmptyCdsReturnsFrontierAsFree) {
+  Cds cds(3, Cds::Options{});
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  EXPECT_EQ(cds.frontier(), (Tuple{-1, -1, -1}));
+}
+
+TEST(CdsTest, RootIntervalAdvancesFirstCoordinate) {
+  Cds cds(2, Cds::Options{});
+  cds.InsertConstraint(MakeC({}, kNegInf, 4));
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  EXPECT_EQ(cds.frontier(), (Tuple{4, -1}));
+}
+
+TEST(CdsTest, WildcardConstraintAppliesToEveryPrefix) {
+  // Figure 2 top-left: <*,*,(5,7)> — any tuple's third coordinate must
+  // avoid (5,7).
+  Cds cds(3, Cds::Options{});
+  cds.InsertConstraint(MakeC({kWildcard, kWildcard}, 5, 7));
+  cds.SetFrontier({1, 2, 6});
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  EXPECT_EQ(cds.frontier(), (Tuple{1, 2, 7}));
+}
+
+TEST(CdsTest, PatternConstraintAppliesOnlyWhenPatternMatches) {
+  // Figure 2 top-right: <*,*,7,*,(4,9)>.
+  Cds cds(5, Cds::Options{});
+  cds.InsertConstraint(MakeC({kWildcard, kWildcard, 7, kWildcard}, 4, 9));
+  cds.SetFrontier({0, 0, 7, 0, 5});
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  EXPECT_EQ(cds.frontier(), (Tuple{0, 0, 7, 0, 9}));
+  // A non-matching third coordinate is unaffected.
+  cds.SetFrontier({0, 0, 8, 0, 5});
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  EXPECT_EQ(cds.frontier(), (Tuple{0, 0, 8, 0, 5}));
+}
+
+TEST(CdsTest, ExhaustedCoordinateBacktracks) {
+  Cds cds(2, Cds::Options{});
+  // Second coordinate fully dead under first == 3.
+  cds.InsertConstraint(MakeC({3}, kNegInf, kPosInf));
+  cds.SetFrontier({3, -1});
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  // Truncation kills first-coordinate value 3 entirely.
+  EXPECT_EQ(cds.frontier()[0], 4);
+}
+
+TEST(CdsTest, FullSpaceCoverageReturnsFalse) {
+  Cds cds(2, Cds::Options{});
+  cds.InsertConstraint(MakeC({}, kNegInf, kPosInf));
+  EXPECT_FALSE(cds.ComputeFreeTuple());
+}
+
+TEST(CdsTest, WildcardDeathExhaustsWholeSpace) {
+  // <*,(-inf,+inf)>: no second coordinate anywhere -> no tuples at all.
+  Cds cds(2, Cds::Options{});
+  cds.InsertConstraint(MakeC({kWildcard}, kNegInf, kPosInf));
+  EXPECT_FALSE(cds.ComputeFreeTuple());
+}
+
+TEST(CdsTest, MovingFrontierSkipsReportedOutputs) {
+  Cds cds(2, Cds::Options{});
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  const Tuple t = cds.frontier();
+  Tuple next = t;
+  ++next.back();
+  cds.SetFrontier(next);  // Idea 2: no unit-gap insert needed
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  EXPECT_EQ(cds.frontier(), next);
+}
+
+TEST(CdsTest, EnumeratesExactlyTheFreeLattice) {
+  // 1-D: constraints rule out (-inf,2), (4,7), (9,+inf): free = {2,3,4,7,8,9}.
+  Cds cds(1, Cds::Options{});
+  cds.InsertConstraint(MakeC({}, kNegInf, 2));
+  cds.InsertConstraint(MakeC({}, 4, 7));
+  cds.InsertConstraint(MakeC({}, 9, kPosInf));
+  std::vector<Value> seen;
+  while (cds.ComputeFreeTuple()) {
+    seen.push_back(cds.frontier()[0]);
+    Tuple next = cds.frontier();
+    ++next[0];
+    cds.SetFrontier(next);
+  }
+  EXPECT_EQ(seen, (std::vector<Value>{2, 3, 4, 7, 8, 9}));
+}
+
+TEST(CdsTest, SubsumedConstraintIsRejected) {
+  Cds cds(2, Cds::Options{});
+  cds.InsertConstraint(MakeC({}, 2, 9));
+  // Pattern value 5 is interior to (2,9): the branch cannot exist.
+  EXPECT_FALSE(cds.InsertConstraint(MakeC({5}, 0, 3)));
+  EXPECT_EQ(cds.constraints_inserted(), 1u);
+}
+
+}  // namespace
+}  // namespace wcoj

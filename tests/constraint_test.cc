@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/constraint.h"
+#include "util/rng.h"
+
+namespace wcoj {
+namespace {
+
+Constraint MakeC(std::vector<Value> pattern, Value lo, Value hi) {
+  Constraint c;
+  c.pattern = std::move(pattern);
+  c.lo = lo;
+  c.hi = hi;
+  return c;
+}
+
+TEST(ConstraintTest, ContainsRespectsPatternAndOpenInterval) {
+  // <*,7,(4,9),*...> from §4.2's second example.
+  Constraint c = MakeC({kWildcard, 7}, 4, 9);
+  EXPECT_TRUE(c.Contains({0, 7, 5, 0}));
+  EXPECT_TRUE(c.Contains({123, 7, 8, 9}));
+  EXPECT_FALSE(c.Contains({0, 6, 5, 0}));  // pattern mismatch
+  EXPECT_FALSE(c.Contains({0, 7, 4, 0}));  // endpoint excluded
+  EXPECT_FALSE(c.Contains({0, 7, 9, 0}));
+}
+
+TEST(ConstraintTest, DebugStringRendersWildcardsAndInterval) {
+  Constraint c = MakeC({kWildcard, 5}, kNegInf, 3);
+  EXPECT_EQ(c.DebugString(), "<*,5,(-inf,3),*...>");
+}
+
+TEST(AdvancePastGapTest, FiniteRightEndpointJumpsToIt) {
+  Constraint c = MakeC({kWildcard, kWildcard}, 5, 9);
+  Tuple out;
+  ASSERT_TRUE(AdvancePastGap(c, {1, 2, 6, 4}, -1, &out));
+  EXPECT_EQ(out, (Tuple{1, 2, 9, -1}));  // deeper coordinates reset
+}
+
+TEST(AdvancePastGapTest, InfiniteRightEndpointBumpsPreviousCoordinate) {
+  Constraint c = MakeC({kWildcard, kWildcard}, 5, kPosInf);
+  Tuple out;
+  ASSERT_TRUE(AdvancePastGap(c, {1, 2, 6, 4}, -1, &out));
+  EXPECT_EQ(out, (Tuple{1, 3, -1, -1}));
+}
+
+TEST(AdvancePastGapTest, GapAtFirstCoordinateToInfinityExhausts) {
+  Constraint c = MakeC({}, 5, kPosInf);
+  Tuple out;
+  EXPECT_FALSE(AdvancePastGap(c, {6, 0}, -1, &out));
+}
+
+TEST(AdvancePastGapTest, ResultIsAlwaysStrictlyGreaterAndOutsideTheBox) {
+  // Property check across random boxes/tuples.
+  Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int n = 3 + static_cast<int>(rng.NextBounded(3));
+    const int depth = static_cast<int>(rng.NextBounded(n));
+    Constraint c;
+    for (int i = 0; i < depth; ++i) {
+      c.pattern.push_back(rng.NextBounded(2) ? kWildcard
+                                             : static_cast<Value>(
+                                                   rng.NextBounded(6)));
+    }
+    c.lo = static_cast<Value>(rng.NextBounded(6)) - 1;
+    c.hi = rng.NextBounded(4) == 0 ? kPosInf
+                                   : c.lo + 2 + static_cast<Value>(
+                                                    rng.NextBounded(5));
+    // Build a tuple inside the box.
+    Tuple t(n);
+    for (int i = 0; i < n; ++i) t[i] = static_cast<Value>(rng.NextBounded(6));
+    for (int i = 0; i < depth; ++i) {
+      if (c.pattern[i] != kWildcard) t[i] = c.pattern[i];
+    }
+    t[depth] = c.lo + 1;  // strictly inside (lo, hi)
+    ASSERT_TRUE(c.Contains(t));
+    Tuple out;
+    if (!AdvancePastGap(c, t, -1, &out)) continue;  // space exhausted: fine
+    EXPECT_GT(CompareTuples(out, t), 0);
+    EXPECT_FALSE(c.Contains(out));
+    // Everything lexicographically between t and out stays inside the box
+    // at the jump coordinate: spot-check the immediate successor of t.
+    Tuple succ = t;
+    ++succ.back();
+    if (CompareTuples(succ, out) < 0) {
+      EXPECT_TRUE(c.Contains(succ));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcoj

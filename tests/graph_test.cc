@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/sampling.h"
+
+namespace wcoj {
+namespace {
+
+TEST(GraphTest, BuildNormalizesEdges) {
+  Graph g(5);
+  g.AddEdge(1, 0);  // reversed
+  g.AddEdge(0, 1);  // duplicate after normalization
+  g.AddEdge(2, 2);  // self loop: dropped
+  g.AddEdge(3, 4);
+  g.Build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edges()[0], (std::pair<int64_t, int64_t>{0, 1}));
+  EXPECT_EQ(g.edges()[1], (std::pair<int64_t, int64_t>{3, 4}));
+}
+
+TEST(GraphTest, CsrDegreesAndNeighbors) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.Build();
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(2), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+  // Neighbors of 0 are {1,2}, sorted.
+  EXPECT_EQ(g.AdjTargets()[g.AdjOffsets()[0]], 1);
+  EXPECT_EQ(g.AdjTargets()[g.AdjOffsets()[0] + 1], 2);
+}
+
+TEST(GraphTest, EdgeRelationsAreConsistent) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);
+  g.Build();
+  Relation sym = g.EdgeRelationSymmetric();
+  Relation ori = g.EdgeRelationOriented();
+  EXPECT_EQ(sym.size(), 4u);  // both directions
+  EXPECT_EQ(ori.size(), 2u);  // u < v only
+  for (size_t r = 0; r < ori.size(); ++r) {
+    EXPECT_LT(ori.At(r, 0), ori.At(r, 1));
+    EXPECT_TRUE(sym.Contains({ori.At(r, 0), ori.At(r, 1)}));
+    EXPECT_TRUE(sym.Contains({ori.At(r, 1), ori.At(r, 0)}));
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiHitsRequestedSize) {
+  Graph g = ErdosRenyi(1000, 5000, 1);
+  EXPECT_EQ(g.num_nodes(), 1000);
+  // Overshoot compensation keeps us within a few percent.
+  EXPECT_GT(g.num_edges(), 4500);
+  EXPECT_LT(g.num_edges(), 5600);
+}
+
+TEST(GeneratorsTest, GeneratorsAreDeterministic) {
+  Graph a = ErdosRenyi(200, 800, 7);
+  Graph b = ErdosRenyi(200, 800, 7);
+  EXPECT_EQ(a.edges(), b.edges());
+  Graph c = Rmat(8, 900, 0.57, 0.19, 0.19, 5);
+  Graph d = Rmat(8, 900, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(c.edges(), d.edges());
+  Graph e = BarabasiAlbert(300, 3, 9);
+  Graph f = BarabasiAlbert(300, 3, 9);
+  EXPECT_EQ(e.edges(), f.edges());
+}
+
+TEST(GeneratorsTest, BarabasiAlbertIsSkewedErdosRenyiIsNot) {
+  Graph ba = BarabasiAlbert(2000, 3, 3);
+  Graph er = ErdosRenyi(2000, ba.num_edges(), 3);
+  auto max_degree = [](const Graph& g) {
+    int64_t m = 0;
+    for (int64_t v = 0; v < g.num_nodes(); ++v) m = std::max(m, g.Degree(v));
+    return m;
+  };
+  // Preferential attachment grows hubs; uniform sampling does not.
+  EXPECT_GT(max_degree(ba), 2 * max_degree(er));
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  Graph rm = Rmat(10, 4000, 0.57, 0.19, 0.19, 11);
+  Graph er = ErdosRenyi(1024, rm.num_edges(), 11);
+  auto max_degree = [](const Graph& g) {
+    int64_t m = 0;
+    for (int64_t v = 0; v < g.num_nodes(); ++v) m = std::max(m, g.Degree(v));
+    return m;
+  };
+  EXPECT_GT(max_degree(rm), 2 * max_degree(er));
+}
+
+TEST(SamplingTest, SelectivityControlsSampleSize) {
+  Graph g = ErdosRenyi(4000, 8000, 2);
+  Relation s10 = SampleNodes(g, 10, 5);
+  Relation s100 = SampleNodes(g, 100, 5);
+  EXPECT_NEAR(static_cast<double>(s10.size()), 400, 80);
+  EXPECT_NEAR(static_cast<double>(s100.size()), 40, 25);
+  EXPECT_GE(s10.size(), 1u);
+}
+
+TEST(SamplingTest, ExactSamplesAreDistinctAndSized) {
+  Graph g = ErdosRenyi(500, 1000, 2);
+  Relation s = SampleNodesExact(g, 57, 3);
+  EXPECT_EQ(s.size(), 57u);  // Relation de-dupes; 57 distinct nodes
+  for (size_t r = 0; r < s.size(); ++r) {
+    EXPECT_GE(s.At(r, 0), 0);
+    EXPECT_LT(s.At(r, 0), 500);
+  }
+}
+
+TEST(SamplingTest, NeverEmpty) {
+  Graph g = ErdosRenyi(50, 100, 2);
+  Relation s = SampleNodes(g, 1e9, 3);  // absurd selectivity
+  EXPECT_GE(s.size(), 1u);
+}
+
+TEST(DatasetsTest, RegistryMirrorsThePapersFifteenGraphs) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 15u);
+  EXPECT_EQ(all.front().name, "wiki-Vote");
+  EXPECT_EQ(all.back().name, "com-Orkut");
+  // Relative size ordering of the mirrors matches the paper's table.
+  EXPECT_LT(DatasetByName("ca-GrQc").edges, DatasetByName("com-Orkut").edges);
+  EXPECT_LT(DatasetByName("wiki-Vote").edges,
+            DatasetByName("soc-LiveJournal1").edges);
+}
+
+TEST(DatasetsTest, LoadIsDeterministicAndScaled) {
+  const DatasetSpec& spec = DatasetByName("ca-GrQc");
+  Graph a = LoadDataset(spec, 1.0);
+  Graph b = LoadDataset(spec, 1.0);
+  EXPECT_EQ(a.edges(), b.edges());
+  Graph half = LoadDataset(spec, 0.5);
+  EXPECT_LT(half.num_edges(), a.num_edges());
+  EXPECT_GT(half.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace wcoj

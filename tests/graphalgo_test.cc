@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/generators.h"
+#include "graphalgo/algorithms.h"
+
+namespace wcoj {
+namespace {
+
+Graph PathGraph(int64_t n) {
+  Graph g(n);
+  for (int64_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  g.Build();
+  return g;
+}
+
+TEST(BfsTest, DistancesOnAPath) {
+  Graph g = PathGraph(5);
+  auto dist = Bfs(g, 0);
+  EXPECT_EQ(dist, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  dist = Bfs(g, 2);
+  EXPECT_EQ(dist, (std::vector<int64_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(BfsTest, UnreachableNodesAreMinusOne) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.Build();
+  auto dist = Bfs(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(ShortestPathsTest, UnitWeightsMatchBfs) {
+  Graph g = ErdosRenyi(60, 150, 5);
+  std::vector<int64_t> unit(g.num_edges(), 1);
+  auto bfs = Bfs(g, 3);
+  auto sp = ShortestPaths(g, 3, unit);
+  EXPECT_EQ(bfs, sp);
+}
+
+TEST(ShortestPathsTest, WeightedDetourWins) {
+  // 0-1-2 with weights 1,1; direct 0-2 with weight 5.
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.Build();
+  // edges() sorted: (0,1), (0,2), (1,2)
+  auto sp = ShortestPaths(g, 0, {1, 5, 1});
+  EXPECT_EQ(sp[2], 2);  // via node 1, not the weight-5 edge
+}
+
+TEST(ShortestPathsTest, TriangleInequalityHolds) {
+  Graph g = ErdosRenyi(80, 240, 6);
+  auto sp = ShortestPaths(g, 0);
+  const auto& offsets = g.AdjOffsets();
+  const auto& targets = g.AdjTargets();
+  for (int64_t u = 0; u < g.num_nodes(); ++u) {
+    if (sp[u] < 0) continue;
+    for (int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const int64_t v = targets[i];
+      ASSERT_GE(sp[v], 0);  // neighbors of reachable nodes are reachable
+      // Default synthetic weight of {u,v} is 1 + (u+v)%4 <= 4.
+      EXPECT_LE(sp[v], sp[u] + 4);
+    }
+  }
+}
+
+TEST(ConnectedComponentsTest, ComponentsPartitionTheGraph) {
+  Graph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.Build();  // {0,1,2}, {3,4}, {5}, {6}
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[6]);
+  std::set<int64_t> ids(comp.begin(), comp.end());
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ConnectedComponentsTest, AgreesWithBfsReachability) {
+  Graph g = ErdosRenyi(50, 40, 7);  // sparse: several components
+  auto comp = ConnectedComponents(g);
+  auto dist = Bfs(g, 0);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(comp[v] == comp[0], dist[v] >= 0) << v;
+  }
+}
+
+TEST(PageRankTest, SumsToOneAndIsUniformOnRegularGraphs) {
+  // A cycle is 2-regular: PageRank must be exactly uniform.
+  Graph g(10);
+  for (int64_t i = 0; i < 10; ++i) g.AddEdge(i, (i + 1) % 10);
+  g.Build();
+  auto pr = PageRank(g);
+  const double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double r : pr) EXPECT_NEAR(r, 0.1, 1e-9);
+}
+
+TEST(PageRankTest, HubsOutrankLeaves) {
+  // Star: center 0 connected to 1..9.
+  Graph g(10);
+  for (int64_t v = 1; v < 10; ++v) g.AddEdge(0, v);
+  g.Build();
+  auto pr = PageRank(g);
+  for (int64_t v = 1; v < 10; ++v) EXPECT_GT(pr[0], pr[v]);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, IsolatedNodesKeepTeleportMass) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.Build();
+  auto pr = PageRank(g);
+  EXPECT_GT(pr[2], 0.0);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SkewedGraphsHaveSkewedRanks) {
+  Graph ba = BarabasiAlbert(400, 3, 9);
+  auto pr = PageRank(ba);
+  auto mx = *std::max_element(pr.begin(), pr.end());
+  EXPECT_GT(mx, 5.0 / 400);  // hubs concentrate rank
+}
+
+}  // namespace
+}  // namespace wcoj

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "bench_util/workloads.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/sampling.h"
+#include "parallel/job_pool.h"
+#include "parallel/partitioned_run.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace wcoj {
+namespace {
+
+TEST(JobPoolTest, RunsEveryJobExactlyOnce) {
+  std::vector<std::atomic<int>> hits(50);
+  for (auto& h : hits) h = 0;
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back([&hits, i]() { ++hits[i]; });
+  }
+  JobPool(4).Run(jobs);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(JobPoolTest, SingleThreadAndEmptyJobListWork) {
+  std::atomic<int> n{0};
+  JobPool(1).Run({[&]() { ++n; }, [&]() { ++n; }});
+  EXPECT_EQ(n.load(), 2);
+  JobPool(3).Run({});
+}
+
+// Partitioned execution must produce identical counts to a direct run for
+// every engine that honors var0 ranges, at any granularity.
+struct PartitionCase {
+  const char* engine;
+  const char* query;
+  std::vector<std::string> gao;
+};
+
+class PartitionedRunTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+const PartitionCase kPartitionCases[] = {
+    {"lftj", "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"}},
+    {"ms", "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"}},
+    {"lftj", "v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)",
+     {"a", "b", "c", "d"}},
+    {"ms", "v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)",
+     {"a", "b", "c", "d"}},
+    {"psql", "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"}},
+    {"clique", "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"}},
+};
+
+TEST_P(PartitionedRunTest, CountsMatchDirectExecution) {
+  const auto& [case_idx, granularity] = GetParam();
+  const PartitionCase& c = kPartitionCases[case_idx];
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 3.0, 4);
+  rels.v2 = SampleNodes(g, 3.0, 5);
+  Query q = MustParseQuery(c.query);
+  BoundQuery bq = Bind(q, rels.Map(), c.gao);
+  auto engine = CreateEngine(c.engine);
+  const ExecResult direct = engine->Execute(bq, ExecOptions{});
+  const ExecResult split =
+      PartitionedExecute(*engine, bq, ExecOptions{}, /*num_threads=*/3,
+                         granularity);
+  EXPECT_EQ(split.count, direct.count)
+      << c.engine << " granularity=" << granularity;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CasesByGranularity, PartitionedRunTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Values(1, 2, 8)),
+    [](const auto& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) + "_f" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PartitionedRunTest, CollectedTuplesAreCompleteAndSorted) {
+  Graph g = ErdosRenyi(30, 90, 8);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  auto engine = CreateEngine("lftj");
+  ExecOptions opts;
+  opts.collect_tuples = true;
+  ExecResult direct = engine->Execute(bq, opts);
+  ExecResult split = PartitionedExecute(*engine, bq, opts, 2, 4);
+  std::sort(direct.tuples.begin(), direct.tuples.end());
+  EXPECT_EQ(split.tuples, direct.tuples);
+}
+
+TEST(WorkloadsTest, RegistryCoversThePaperQueries) {
+  const auto& all = PaperWorkloads();
+  ASSERT_EQ(all.size(), 10u);
+  int cyclic = 0;
+  for (const auto& w : all) cyclic += w.cyclic;
+  EXPECT_EQ(cyclic, 5);  // {3,4}-clique, 4-cycle, {2,3}-lollipop
+  EXPECT_EQ(WorkloadByName("3-clique").gao.size(), 3u);
+  EXPECT_EQ(WorkloadByName("3-lollipop").gao.size(), 7u);
+}
+
+TEST(WorkloadsTest, BindWorkloadRunsOnADataset) {
+  Graph g = ErdosRenyi(60, 200, 12);
+  DatasetRelations rels(g);
+  rels.Resample(8.0, 3);
+  for (const char* name : {"3-clique", "3-path", "1-tree", "2-comb"}) {
+    BoundQuery bq = BindWorkload(WorkloadByName(name), rels);
+    ExecResult lftj = CreateEngine("lftj")->Execute(bq, ExecOptions{});
+    ExecResult ms = CreateEngine("ms")->Execute(bq, ExecOptions{});
+    EXPECT_EQ(lftj.count, ms.count) << name;
+  }
+}
+
+TEST(WorkloadsTest, ResampleChangesSelectivity) {
+  Graph g = ErdosRenyi(800, 2000, 12);
+  DatasetRelations rels(g);
+  rels.Resample(10.0, 1);
+  const size_t at_10 = rels.Map().at("v1")->size();
+  rels.Resample(100.0, 1);
+  const size_t at_100 = rels.Map().at("v1")->size();
+  EXPECT_GT(at_10, at_100 * 3);
+}
+
+}  // namespace
+}  // namespace wcoj

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/sampling.h"
+#include "core/hybrid.h"
+#include "query/hypergraph.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace wcoj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Failure injection: a deadline may expire at any moment; an engine must
+// then either report timed_out or return the exact answer — never a wrong
+// count.
+
+class DeadlineInjectionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+const char* const kInjectionEngines[] = {"lftj", "ms",   "#ms",  "hybrid",
+                                         "psql", "monetdb", "yannakakis"};
+
+TEST_P(DeadlineInjectionTest, TimeoutOrExactAnswer) {
+  const auto& [engine_idx, budget_step] = GetParam();
+  Graph g = Rmat(7, 500, 0.57, 0.19, 0.19, 99);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 3.0, 1);
+  rels.v2 = SampleNodes(g, 3.0, 2);
+  Query q = MustParseQuery("v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d"});
+  const uint64_t expected =
+      CreateEngine("lftj")->Execute(bq, ExecOptions{}).count;
+
+  auto engine = CreateEngine(kInjectionEngines[engine_idx]);
+  ExecOptions opts;
+  // Budgets from "expires immediately" to "tight but maybe enough".
+  opts.deadline = Deadline::AfterSeconds(budget_step * 0.002);
+  ExecResult r = engine->Execute(bq, opts);
+  if (!r.timed_out) {
+    EXPECT_EQ(r.count, expected) << kInjectionEngines[engine_idx];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesByBudget, DeadlineInjectionTest,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Values(0, 1, 5)),
+    [](const auto& info) {
+      std::string name = kInjectionEngines[std::get<0>(info.param)];
+      if (name == "#ms") name = "cms";  // '#' is not a valid gtest name
+      return name + "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Determinism: repeated executions yield identical counts and stats.
+
+TEST(DeterminismTest, RepeatedRunsAreIdentical) {
+  Graph g = Rmat(7, 400, 0.57, 0.19, 0.19, 55);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  for (const char* name : {"lftj", "ms", "#ms"}) {
+    auto engine = CreateEngine(name);
+    ExecResult a = engine->Execute(bq, ExecOptions{});
+    ExecResult b = engine->Execute(bq, ExecOptions{});
+    EXPECT_EQ(a.count, b.count) << name;
+    EXPECT_EQ(a.stats.seeks, b.stats.seeks) << name;
+    EXPECT_EQ(a.stats.constraints_inserted, b.stats.constraints_inserted)
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs.
+
+TEST(DegenerateInputTest, EmptyEdgeRelation) {
+  Relation empty(2);
+  empty.Build();
+  Relation v = Relation::FromTuples(1, {{1}, {2}});
+  Query q = MustParseQuery("v1(a), edge(a,b), edge(b,c)");
+  BoundQuery bq =
+      Bind(q, {{"edge", &empty}, {"v1", &v}}, {"a", "b", "c"});
+  for (const auto& name : EngineNames()) {
+    if (name == "clique") continue;  // pattern unsupported by design
+    ExecResult r = CreateEngine(name)->Execute(bq, ExecOptions{});
+    EXPECT_EQ(r.count, 0u) << name;
+    EXPECT_FALSE(r.timed_out) << name;
+  }
+}
+
+TEST(DegenerateInputTest, SingleVariableIntersection) {
+  Relation a = Relation::FromTuples(1, {{1}, {3}, {5}, {7}});
+  Relation b = Relation::FromTuples(1, {{3}, {4}, {7}, {9}});
+  Query q = MustParseQuery("v1(x), v2(x)");
+  BoundQuery bq = Bind(q, {{"v1", &a}, {"v2", &b}}, {"x"});
+  for (const char* name : {"lftj", "ms", "psql", "yannakakis"}) {
+    ExecResult r = CreateEngine(name)->Execute(bq, ExecOptions{});
+    EXPECT_EQ(r.count, 2u) << name;  // {3, 7}
+  }
+}
+
+TEST(DegenerateInputTest, SelfJoinOnIdenticalRelation) {
+  Relation edge = Relation::FromTuples(2, {{0, 1}, {1, 2}, {2, 0}});
+  Query q = MustParseQuery("e(a,b), e(b,c)");
+  BoundQuery bq = Bind(q, {{"e", &edge}}, {"a", "b", "c"});
+  const uint64_t expected = BruteForceCount(bq);
+  for (const char* name : {"lftj", "ms", "psql", "monetdb"}) {
+    EXPECT_EQ(CreateEngine(name)->Execute(bq, ExecOptions{}).count, expected)
+        << name;
+  }
+}
+
+TEST(DegenerateInputTest, FilterOnlyNeverSatisfied) {
+  // b < a and a < b simultaneously: empty.
+  Relation edge = Relation::FromTuples(2, {{0, 1}, {1, 2}});
+  Query q = MustParseQuery("e(a,b), a<b, b<a");
+  BoundQuery bq = Bind(q, {{"e", &edge}}, {"a", "b"});
+  for (const char* name : {"lftj", "ms"}) {
+    EXPECT_EQ(CreateEngine(name)->Execute(bq, ExecOptions{}).count, 0u)
+        << name;
+  }
+}
+
+TEST(DegenerateInputTest, ReversedFilterAgainstGao) {
+  // Filter's smaller variable comes later in the GAO.
+  Relation edge = Relation::FromTuples(2, {{0, 1}, {1, 0}, {2, 1}, {1, 2}});
+  Query q = MustParseQuery("e(a,b), b<a");
+  BoundQuery bq = Bind(q, {{"e", &edge}}, {"a", "b"});
+  const uint64_t expected = BruteForceCount(bq);  // tuples with b < a
+  for (const char* name : {"lftj", "ms", "psql"}) {
+    EXPECT_EQ(CreateEngine(name)->Execute(bq, ExecOptions{}).count, expected)
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GAO invariance: the answer is GAO-independent; only performance varies.
+// (For Minesweeper non-NEO orders exercise the poset regime, which must
+// still be correct.)
+
+class GaoInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaoInvarianceTest, AllOrdersGiveTheSameCount) {
+  Graph g = ErdosRenyi(11, 24, 700 + GetParam());
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 2.0, 1);
+  Query q = MustParseQuery("v1(a), edge(a,b), edge(b,c), edge(a,c)");
+  std::vector<std::string> gao = {"a", "b", "c"};
+  std::sort(gao.begin(), gao.end());
+  uint64_t expected = 0;
+  bool first = true;
+  do {
+    BoundQuery bq = Bind(q, rels.Map(), gao);
+    for (const char* name : {"lftj", "ms"}) {
+      const uint64_t got =
+          CreateEngine(name)->Execute(bq, ExecOptions{}).count;
+      if (first) {
+        expected = got;
+        first = false;
+      }
+      EXPECT_EQ(got, expected)
+          << name << " under GAO " << gao[0] << gao[1] << gao[2];
+    }
+  } while (std::next_permutation(gao.begin(), gao.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaoInvarianceTest, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Hybrid split detection.
+
+TEST(HybridSplitTest, LollipopSplitsAtTheJunction) {
+  Graph g = ErdosRenyi(10, 20, 3);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery(
+      "v1(a), edge(a,b), edge(b,c), edge(c,d), edge(d,e), edge(c,e)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d", "e"});
+  EXPECT_EQ(HybridEngine::FindSplit(bq), 3);  // junction = c
+}
+
+TEST(HybridSplitTest, CliqueHasNoSplit) {
+  Graph g = ErdosRenyi(10, 20, 3);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  EXPECT_EQ(HybridEngine::FindSplit(bq), 0);  // falls back to pure MS
+}
+
+}  // namespace
+}  // namespace wcoj

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/trie.h"
+#include "util/rng.h"
+
+namespace wcoj {
+namespace {
+
+TEST(RelationTest, BuildSortsAndDedups) {
+  Relation r(2);
+  r.Add({3, 1});
+  r.Add({1, 2});
+  r.Add({3, 1});
+  r.Add({1, 1});
+  r.Build();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.RowTuple(0), (Tuple{1, 1}));
+  EXPECT_EQ(r.RowTuple(1), (Tuple{1, 2}));
+  EXPECT_EQ(r.RowTuple(2), (Tuple{3, 1}));
+}
+
+TEST(RelationTest, ContainsFindsExactTuples) {
+  Relation r = Relation::FromTuples(2, {{1, 2}, {1, 5}, {4, 0}});
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_TRUE(r.Contains({4, 0}));
+  EXPECT_FALSE(r.Contains({1, 3}));
+  EXPECT_FALSE(r.Contains({0, 0}));
+  EXPECT_FALSE(r.Contains({5, 0}));
+}
+
+TEST(RelationTest, PermutedReordersColumns) {
+  Relation r = Relation::FromTuples(2, {{1, 9}, {2, 3}});
+  Relation p = r.Permuted({1, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.RowTuple(0), (Tuple{3, 2}));
+  EXPECT_EQ(p.RowTuple(1), (Tuple{9, 1}));
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation r(3);
+  r.Build();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.Contains({1, 2, 3}));
+}
+
+TEST(TrieIteratorTest, WalksPaperExampleIndex) {
+  // Relation R from Figure 1: {A2,A4,A5} index.
+  Relation r = Relation::FromTuples(
+      3, {{5, 1, 4}, {5, 1, 7}, {5, 1, 12}, {7, 4, 6}, {7, 9, 8},
+          {7, 9, 13}, {10, 4, 1}});
+  TrieIndex index(r);
+  TrieIterator it(&index);
+  it.Open();  // depth 0
+  ASSERT_FALSE(it.AtEnd());
+  EXPECT_EQ(it.Key(), 5);
+  it.Next();
+  EXPECT_EQ(it.Key(), 7);
+  it.Open();  // depth 1 under 7
+  EXPECT_EQ(it.Key(), 4);
+  it.Next();
+  EXPECT_EQ(it.Key(), 9);
+  it.Open();  // depth 2 under (7,9)
+  EXPECT_EQ(it.Key(), 8);
+  it.Next();
+  EXPECT_EQ(it.Key(), 13);
+  it.Next();
+  EXPECT_TRUE(it.AtEnd());
+  it.Up();
+  it.Up();  // back to depth 0, still at 7
+  EXPECT_EQ(it.Key(), 7);
+  it.Next();
+  EXPECT_EQ(it.Key(), 10);
+  it.Next();
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(TrieIteratorTest, SeekSkipsForward) {
+  Relation r = Relation::FromTuples(1, {{1}, {4}, {9}, {16}, {25}});
+  TrieIndex index(r);
+  TrieIterator it(&index);
+  it.Open();
+  it.Seek(5);
+  EXPECT_EQ(it.Key(), 9);
+  it.Seek(9);  // seek to current key is a no-op
+  EXPECT_EQ(it.Key(), 9);
+  it.Seek(26);
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(TrieIndexTest, SeekGapFindsMembership) {
+  Relation r = Relation::FromTuples(2, {{1, 5}, {1, 9}, {3, 2}});
+  TrieIndex index(r);
+  auto probe = index.SeekGap({1, 9});
+  EXPECT_TRUE(probe.found);
+  probe = index.SeekGap({3, 2});
+  EXPECT_TRUE(probe.found);
+}
+
+TEST(TrieIndexTest, SeekGapReportsMaximalGapAtFirstAttr) {
+  Relation r = Relation::FromTuples(2, {{1, 5}, {3, 2}, {8, 0}});
+  TrieIndex index(r);
+  auto probe = index.SeekGap({5, 7});
+  EXPECT_FALSE(probe.found);
+  EXPECT_EQ(probe.fail_pos, 0);
+  EXPECT_EQ(probe.glb, 3);
+  EXPECT_EQ(probe.lub, 8);
+}
+
+TEST(TrieIndexTest, SeekGapReportsGapUnderPrefix) {
+  // Mirrors the §4.2 example: t2=6 falls between A2-values 5 and 7; with
+  // the prefix present, gaps come from the deeper attribute.
+  Relation r = Relation::FromTuples(
+      3, {{5, 1, 4}, {5, 1, 7}, {5, 1, 12}, {7, 4, 6}, {7, 9, 8},
+          {7, 9, 13}, {10, 4, 1}});
+  TrieIndex index(r);
+  auto probe = index.SeekGap({6, 3, 7});
+  EXPECT_FALSE(probe.found);
+  EXPECT_EQ(probe.fail_pos, 0);
+  EXPECT_EQ(probe.glb, 5);
+  EXPECT_EQ(probe.lub, 7);
+
+  probe = index.SeekGap({7, 5, 8});  // the paper's second free tuple
+  EXPECT_FALSE(probe.found);
+  EXPECT_EQ(probe.fail_pos, 1);
+  EXPECT_EQ(probe.glb, 4);
+  EXPECT_EQ(probe.lub, 9);
+
+  probe = index.SeekGap({5, 1, 8});
+  EXPECT_FALSE(probe.found);
+  EXPECT_EQ(probe.fail_pos, 2);
+  EXPECT_EQ(probe.glb, 7);
+  EXPECT_EQ(probe.lub, 12);
+
+  probe = index.SeekGap({5, 1, 1});
+  EXPECT_EQ(probe.fail_pos, 2);
+  EXPECT_EQ(probe.glb, kNegInf);
+  EXPECT_EQ(probe.lub, 4);
+
+  probe = index.SeekGap({5, 1, 100});
+  EXPECT_EQ(probe.fail_pos, 2);
+  EXPECT_EQ(probe.glb, 12);
+  EXPECT_EQ(probe.lub, kPosInf);
+}
+
+TEST(TrieIndexTest, SeekGapOnEmptyRelationCoversEverything) {
+  Relation r(2);
+  r.Build();
+  TrieIndex index(r);
+  auto probe = index.SeekGap({4, 2});
+  EXPECT_FALSE(probe.found);
+  EXPECT_EQ(probe.fail_pos, 0);
+  EXPECT_EQ(probe.glb, kNegInf);
+  EXPECT_EQ(probe.lub, kPosInf);
+}
+
+TEST(TrieIndexTest, PermutationBuildsIndexInGivenOrder) {
+  Relation r = Relation::FromTuples(2, {{1, 9}, {2, 3}, {2, 7}});
+  TrieIndex index(r, {1, 0});  // indexed on (col1, col0)
+  TrieIterator it(&index);
+  it.Open();
+  EXPECT_EQ(it.Key(), 3);
+  it.Next();
+  EXPECT_EQ(it.Key(), 7);
+  it.Next();
+  EXPECT_EQ(it.Key(), 9);
+}
+
+// Property: trie iteration in order reproduces the sorted relation, and
+// Seek agrees with a linear scan, across random relations.
+class TrieRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieRandomTest, SeekMatchesLinearScan) {
+  Rng rng(GetParam());
+  Relation r(2);
+  const int n = 50 + GetParam() * 13;
+  for (int i = 0; i < n; ++i) {
+    r.Add({static_cast<Value>(rng.NextBounded(20)),
+           static_cast<Value>(rng.NextBounded(20))});
+  }
+  r.Build();
+  TrieIndex index(r);
+  // At depth 0, Seek(v) must land on the least first-column value >= v.
+  for (Value v = -1; v <= 21; ++v) {
+    TrieIterator it(&index);
+    it.Open();
+    it.Seek(v);
+    Value expected = kPosInf;
+    for (size_t row = 0; row < r.size(); ++row) {
+      if (r.At(row, 0) >= v) {
+        expected = r.At(row, 0);
+        break;
+      }
+    }
+    if (expected == kPosInf) {
+      EXPECT_TRUE(it.AtEnd());
+    } else {
+      ASSERT_FALSE(it.AtEnd());
+      EXPECT_EQ(it.Key(), expected);
+    }
+  }
+}
+
+TEST_P(TrieRandomTest, SeekGapNeverContainsDataPoints) {
+  Rng rng(GetParam() * 7919 + 1);
+  Relation r(2);
+  for (int i = 0; i < 80; ++i) {
+    r.Add({static_cast<Value>(rng.NextBounded(15)),
+           static_cast<Value>(rng.NextBounded(15))});
+  }
+  r.Build();
+  TrieIndex index(r);
+  for (int i = 0; i < 200; ++i) {
+    Tuple t{static_cast<Value>(rng.NextBounded(17)) - 1,
+            static_cast<Value>(rng.NextBounded(17)) - 1};
+    auto probe = index.SeekGap(t);
+    if (probe.found) {
+      EXPECT_TRUE(r.Contains(t));
+      continue;
+    }
+    EXPECT_FALSE(r.Contains(t));
+    // No data tuple matching the prefix has its fail_pos coordinate
+    // strictly inside (glb, lub).
+    for (size_t row = 0; row < r.size(); ++row) {
+      bool prefix_match = true;
+      for (int c = 0; c < probe.fail_pos; ++c) {
+        prefix_match &= r.At(row, c) == t[c];
+      }
+      if (!prefix_match) continue;
+      const Value v = r.At(row, probe.fail_pos);
+      EXPECT_FALSE(probe.glb < v && v < probe.lub)
+          << "data point inside reported gap";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieRandomTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace wcoj

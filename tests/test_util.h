@@ -1,0 +1,88 @@
+#ifndef WCOJ_TESTS_TEST_UTIL_H_
+#define WCOJ_TESTS_TEST_UTIL_H_
+
+// Shared test helpers: a brute-force join oracle and small fixture
+// builders. The oracle enumerates assignments var-by-var from candidate
+// domains and checks every atom and filter, so it is obviously correct
+// (and exponential — only for small instances).
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "storage/relation.h"
+#include "util/value.h"
+
+namespace wcoj {
+
+inline uint64_t BruteForceCount(const BoundQuery& q,
+                                std::vector<Tuple>* out = nullptr) {
+  // Candidate domain per variable: all values appearing in that variable's
+  // column of any atom.
+  std::vector<std::set<Value>> domains(q.num_vars);
+  for (const auto& atom : q.atoms) {
+    for (size_t c = 0; c < atom.vars.size(); ++c) {
+      for (size_t r = 0; r < atom.relation->size(); ++r) {
+        domains[atom.vars[c]].insert(
+            atom.relation->At(r, static_cast<int>(c)));
+      }
+    }
+  }
+  uint64_t count = 0;
+  Tuple t(q.num_vars);
+  auto satisfied = [&](int bound) {
+    for (const auto& atom : q.atoms) {
+      bool all_bound = true;
+      for (int v : atom.vars) all_bound &= v < bound;
+      if (!all_bound) continue;
+      Tuple proj(atom.vars.size());
+      for (size_t c = 0; c < atom.vars.size(); ++c) proj[c] = t[atom.vars[c]];
+      if (!atom.relation->Contains(proj)) return false;
+    }
+    return FiltersOk(q, t, bound);
+  };
+  std::function<void(int)> rec = [&](int v) {
+    if (v == q.num_vars) {
+      ++count;
+      if (out != nullptr) out->push_back(t);
+      return;
+    }
+    for (Value x : domains[v]) {
+      t[v] = x;
+      if (satisfied(v + 1)) rec(v + 1);
+    }
+  };
+  rec(0);
+  return count;
+}
+
+// Relations for graph-pattern queries: `edge` (symmetric), `edge_lt`
+// (oriented u<v), `node`, plus optional samples v1/v2.
+struct GraphRelations {
+  Relation edge{2}, edge_lt{2}, node{1}, v1{1}, v2{1};
+
+  std::map<std::string, const Relation*> Map() const {
+    return {{"edge", &edge},       {"edge_lt", &edge_lt}, {"node", &node},
+            {"v1", &v1},           {"v2", &v2}};
+  }
+};
+
+inline GraphRelations MakeGraphRelations(const Graph& g) {
+  GraphRelations r;
+  r.edge = g.EdgeRelationSymmetric();
+  r.edge_lt = g.EdgeRelationOriented();
+  r.node = g.NodeRelation();
+  r.v1 = g.NodeRelation();
+  r.v2 = g.NodeRelation();
+  return r;
+}
+
+}  // namespace wcoj
+
+#endif  // WCOJ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/simplex.h"
+#include "util/stopwatch.h"
+#include "util/value.h"
+
+namespace wcoj {
+namespace {
+
+TEST(ValueTest, CompareTuplesIsLexicographic) {
+  EXPECT_EQ(CompareTuples({1, 2}, {1, 2}), 0);
+  EXPECT_LT(CompareTuples({1, 2}, {1, 3}), 0);
+  EXPECT_GT(CompareTuples({2, 0}, {1, 9}), 0);
+  EXPECT_LT(CompareTuples({kNegInf}, {0}), 0);
+  EXPECT_GT(CompareTuples({kPosInf}, {123456}), 0);
+}
+
+TEST(ValueTest, SentinelFormatting) {
+  EXPECT_EQ(ValueToString(kNegInf), "-inf");
+  EXPECT_EQ(ValueToString(kPosInf), "+inf");
+  EXPECT_EQ(TupleToString({1, kPosInf}), "(1, +inf)");
+  EXPECT_FALSE(IsFinite(kNegInf));
+  EXPECT_FALSE(IsFinite(kPosInf));
+  EXPECT_TRUE(IsFinite(0));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42), c(43);
+  bool differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = a.Next();
+    EXPECT_EQ(x, b.Next());
+    differs_from_c |= x != c.Next();
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);  // crude uniformity check
+}
+
+TEST(SimplexTest, SolvesSimpleCover) {
+  // min x0 + x1 s.t. x0 >= 1, x1 >= 2.
+  LpResult r = SolveMinLp({{1, 0}, {0, 1}}, {1, 2}, {1, 1});
+  ASSERT_TRUE(r.feasible);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_NEAR(r.objective, 3.0, 1e-9);
+}
+
+TEST(SimplexTest, TriangleFractionalCoverIsHalfEach) {
+  // Vertex-cover constraints of the triangle hypergraph; unit costs.
+  // Optimal fractional edge cover is (1/2, 1/2, 1/2), objective 1.5.
+  LpResult r = SolveMinLp({{1, 0, 1}, {1, 1, 0}, {0, 1, 1}}, {1, 1, 1},
+                          {1, 1, 1});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 1.5, 1e-9);
+  for (double x : r.x) EXPECT_NEAR(x, 0.5, 1e-9);
+}
+
+TEST(SimplexTest, AsymmetricCostsShiftTheCover) {
+  // Same constraints, but the third edge is nearly free: cover the
+  // triangle with edges 1 and 3 fully... LP finds the cheapest mix.
+  LpResult r = SolveMinLp({{1, 0, 1}, {1, 1, 0}, {0, 1, 1}}, {1, 1, 1},
+                          {1, 1, 0.01});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LT(r.objective, 1.5);
+  // Constraints still hold.
+  EXPECT_GE(r.x[0] + r.x[2], 1 - 1e-9);
+  EXPECT_GE(r.x[0] + r.x[1], 1 - 1e-9);
+  EXPECT_GE(r.x[1] + r.x[2], 1 - 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // 0*x >= 1 is infeasible.
+  LpResult r = SolveMinLp({{0}}, {1}, {1});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(SimplexTest, NegativeRhsRowsAreVacuous) {
+  // x >= -5 is implied by x >= 0.
+  LpResult r = SolveMinLp({{1}}, {-5}, {1});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, NoConstraintsMeansZero) {
+  LpResult r = SolveMinLp({}, {}, {1, 1});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.objective, 0.0);
+}
+
+TEST(StopwatchTest, DeadlineSemantics) {
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+  EXPECT_TRUE(Deadline::AfterSeconds(0).Expired());
+  EXPECT_FALSE(Deadline::AfterSeconds(60).Expired());
+}
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch w;
+  const double a = w.ElapsedSeconds();
+  const double b = w.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace wcoj

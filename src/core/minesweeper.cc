@@ -311,6 +311,11 @@ class MsRun {
 ExecResult MinesweeperEngine::Execute(const BoundQuery& q,
                                       const ExecOptions& opts) const {
   ExecResult result;
+  // A degenerate x<x filter makes the query unsatisfiable; the gap-box
+  // encoding below assumes lo != hi, so answer before entering the loop.
+  for (const auto& [lo, hi] : q.less_than) {
+    if (lo == hi) return result;
+  }
   MsRun run(options_, q, opts, &result);
   run.Run();
   return result;

@@ -17,6 +17,7 @@
 
 #include "bench_util/table.h"
 #include "bench_util/workloads.h"
+#include "core/atom_index.h"
 #include "core/engine.h"
 #include "graph/datasets.h"
 
@@ -36,11 +37,44 @@ struct Cell {
 };
 
 // Runs one engine on one bound query under the global cell timeout.
+// Cells measure the paper's warm regime (LogicBlox's indexes are
+// resident before any timed query runs): GAO-index engines get their
+// indexes made resident cheaply via WarmQueryIndexes; the pairwise
+// baselines probe plan-dependent permutations instead, which only a
+// real execution touches, so they warm up with one untimed run (their
+// timeout cells therefore cost up to 2x the timeout). Use RunCellCold
+// for a timing that includes the builds.
 inline Cell RunCell(const std::string& engine_name, const BoundQuery& bq) {
   std::unique_ptr<Engine> engine = CreateEngine(engine_name);
   ExecOptions opts;
   opts.deadline = Deadline::AfterSeconds(CellTimeoutSeconds());
+  if (bq.catalog != nullptr) {
+    switch (engine->catalog_warmup()) {
+      case CatalogWarmup::kGaoIndexes:
+        WarmQueryIndexes(bq);
+        break;
+      case CatalogWarmup::kByExecution:
+        engine->Execute(bq, opts);  // untimed warm-up, same timeout bound
+        opts.deadline = Deadline::AfterSeconds(CellTimeoutSeconds());
+        break;
+      case CatalogWarmup::kNone:
+        break;
+    }
+  }
   const ExecResult r = RunTimed(*engine, bq, opts);
+  return {r.seconds, r.timed_out, r.count};
+}
+
+// Cold variant: every index is rebuilt inside the timed region (the
+// repo's pre-catalog behaviour), via a run that bypasses the catalog.
+inline Cell RunCellCold(const std::string& engine_name,
+                        const BoundQuery& bq) {
+  BoundQuery cold = bq;
+  cold.catalog = nullptr;
+  std::unique_ptr<Engine> engine = CreateEngine(engine_name);
+  ExecOptions opts;
+  opts.deadline = Deadline::AfterSeconds(CellTimeoutSeconds());
+  const ExecResult r = RunTimed(*engine, cold, opts);
   return {r.seconds, r.timed_out, r.count};
 }
 

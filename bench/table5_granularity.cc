@@ -5,6 +5,7 @@
 
 #include "bench/bench_common.h"
 
+#include "core/atom_index.h"
 #include "parallel/partitioned_run.h"
 
 int main() {
@@ -31,6 +32,9 @@ int main() {
       DatasetRelations rels(g);
       rels.Resample(/*selectivity=*/10, /*seed=*/17);
       BoundQuery bq = BindWorkload(WorkloadByName(qname), rels);
+      // Make the indexes resident before timing: Table 5 compares
+      // partition granularities, so no f-cell may pay the one-off build.
+      WarmQueryIndexes(bq);
       std::unique_ptr<Engine> ms = CreateEngine("ms");
       double base = -1.0;
       for (size_t i = 0; i < granularities.size(); ++i) {

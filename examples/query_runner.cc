@@ -76,7 +76,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const BoundQuery bq = Bind(parsed.query, rel_map, parsed.query.Variables());
+  BoundQuery bq = Bind(parsed.query, rel_map, parsed.query.Variables());
+  bq.catalog = rels.catalog();  // execute over shared resident indexes
 
   ExecOptions opts;
   opts.deadline = Deadline::AfterSeconds(60.0);

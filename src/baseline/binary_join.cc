@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "baseline/planner.h"
+#include "storage/catalog.h"
+#include "storage/trie.h"
 
 namespace wcoj {
 
@@ -27,7 +29,11 @@ class BinaryJoinRun {
  public:
   BinaryJoinRun(const BoundQuery& q, const ExecOptions& opts,
                 PlanStrategy strategy, ExecResult* result)
-      : q_(q), opts_(opts), strategy_(strategy), result_(result) {}
+      : q_(q),
+        opts_(opts),
+        strategy_(strategy),
+        result_(result),
+        catalog_(EffectiveCatalog(q, opts)) {}
 
   void Run() {
     const JoinPlan plan = PlanJoin(q_, strategy_);
@@ -103,6 +109,15 @@ class BinaryJoinRun {
         new_cols.push_back(static_cast<int>(c));
       }
     }
+    std::vector<Tuple> out;
+    if (catalog_ != nullptr) {
+      // Resident-index path: probe the catalog's sorted (key-major) index
+      // instead of rebuilding a hash table every execution. Same output
+      // set as the hash path, emitted in index order.
+      out = IndexProbeStep(inter, a, key_cols, key_inter_cols, new_cols);
+      RecordNewColumns(inter, a, new_cols, bound);
+      return out;
+    }
     // Build side: the atom, keyed on the shared columns (empty key =
     // cartesian product, as a conventional executor would do).
     std::unordered_multimap<Tuple, size_t, KeyHash> build;
@@ -116,7 +131,6 @@ class BinaryJoinRun {
       build.emplace(std::move(key), r);
       if (Expired()) return {};
     }
-    std::vector<Tuple> out;
     for (const Tuple& row : inter) {
       Tuple key(key_inter_cols.size());
       for (size_t i = 0; i < key_inter_cols.size(); ++i) {
@@ -132,7 +146,67 @@ class BinaryJoinRun {
         if (Expired()) return out;
       }
     }
-    // Record where the new variables landed.
+    RecordNewColumns(inter, a, new_cols, bound);
+    return out;
+  }
+
+  // Probe side of a join step over the catalog's sorted index on
+  // (key_cols..., new_cols...): per intermediate row, narrow the row
+  // range column-by-column with galloping bounds, then emit the matches.
+  std::vector<Tuple> IndexProbeStep(const std::vector<Tuple>& inter, int a,
+                                    const std::vector<int>& key_cols,
+                                    const std::vector<int>& key_inter_cols,
+                                    const std::vector<int>& new_cols) {
+    const auto& atom = q_.atoms[a];
+    std::vector<int> perm = key_cols;
+    perm.insert(perm.end(), new_cols.begin(), new_cols.end());
+    const TrieIndex* index = catalog_->GetOrBuildCounted(
+        *atom.relation, std::move(perm), &result_->stats.index_builds,
+        &result_->stats.index_cache_hits);
+    // Trie column holding var0, if the atom binds it (partition filter).
+    // Like Var0Ok, the filter reads the FIRST relation column binding
+    // var0, so both paths agree even when an atom repeats the variable.
+    int var0_col = -1;
+    for (size_t c = 0; c < atom.vars.size() && var0_col < 0; ++c) {
+      if (atom.vars[c] != 0) continue;
+      for (size_t j = 0; j < index->perm().size(); ++j) {
+        if (index->perm()[j] == static_cast<int>(c)) {
+          var0_col = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    std::vector<Tuple> out;
+    const Relation& data = index->data();
+    for (const Tuple& row : inter) {
+      size_t lo = 0, hi = index->size();
+      for (size_t i = 0; i < key_inter_cols.size() && lo < hi; ++i) {
+        const Value v = row[key_inter_cols[i]];
+        lo = index->LowerBound(lo, hi, static_cast<int>(i), v);
+        hi = index->UpperBound(lo, hi, static_cast<int>(i), v);
+      }
+      for (size_t r = lo; r < hi; ++r) {
+        if (Expired()) return out;  // also covers filtered-out rows
+        if (var0_col >= 0) {
+          const Value v = data.At(r, var0_col);
+          if (v < opts_.var0_min || v > opts_.var0_max) continue;
+        }
+        Tuple next = row;
+        for (size_t j = 0; j < new_cols.size(); ++j) {
+          next.push_back(data.At(r, static_cast<int>(key_cols.size() + j)));
+        }
+        out.push_back(std::move(next));
+      }
+    }
+    return out;
+  }
+
+  // Records where a join step's new variables landed in the widened
+  // intermediate.
+  void RecordNewColumns(const std::vector<Tuple>& inter, int a,
+                        const std::vector<int>& new_cols,
+                        std::vector<int>* bound) {
+    const auto& atom = q_.atoms[a];
     int width = inter.empty() ? 0 : static_cast<int>(inter[0].size());
     if (inter.empty()) {
       // Intermediate was empty: output is empty, but variable positions
@@ -144,7 +218,6 @@ class BinaryJoinRun {
     for (size_t i = 0; i < new_cols.size(); ++i) {
       (*bound)[atom.vars[new_cols[i]]] = width + static_cast<int>(i);
     }
-    return out;
   }
 
   void ApplyFilters(std::vector<Tuple>* inter,
@@ -163,6 +236,7 @@ class BinaryJoinRun {
   const ExecOptions& opts_;
   PlanStrategy strategy_;
   ExecResult* result_;
+  IndexCatalog* catalog_;  // null = legacy per-step hash builds
   uint64_t steps_ = 0;
 };
 

@@ -26,6 +26,10 @@ class BinaryJoinEngine : public Engine {
   }
   ExecResult Execute(const BoundQuery& q,
                      const ExecOptions& opts) const override;
+  // Probes catalog indexes permuted by plan step, not by GAO.
+  CatalogWarmup catalog_warmup() const override {
+    return CatalogWarmup::kByExecution;
+  }
 
  private:
   BinaryJoinFlavor flavor_;

@@ -19,6 +19,10 @@ class CliqueEngine : public Engine {
   std::string name() const override { return "clique"; }
   ExecResult Execute(const BoundQuery& q,
                      const ExecOptions& opts) const override;
+  // Builds its own forward adjacency; never touches the catalog.
+  CatalogWarmup catalog_warmup() const override {
+    return CatalogWarmup::kNone;
+  }
 
   // True iff Execute would handle this query (K3 or K4 pattern).
   static bool Supports(const BoundQuery& q);

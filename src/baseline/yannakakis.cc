@@ -78,11 +78,16 @@ ExecResult YannakakisEngine::Execute(const BoundQuery& q,
   }
   for (const auto& r : reduced) result.stats.intermediate_tuples += r.size();
 
-  // Join the reduced relations with the DP pairwise engine.
+  // Join the reduced relations with the DP pairwise engine. The reduced
+  // relations are transient locals, so the shared catalog must not index
+  // them: strip it from both the query copy and the options.
   BoundQuery rq = q;
+  rq.catalog = nullptr;
   for (size_t i = 0; i < m; ++i) rq.atoms[i].relation = &reduced[i];
+  ExecOptions join_opts = opts;
+  join_opts.catalog = nullptr;
   BinaryJoinEngine join(BinaryJoinFlavor::kRowStore);
-  ExecResult joined = join.Execute(rq, opts);
+  ExecResult joined = join.Execute(rq, join_opts);
   joined.stats.intermediate_tuples += result.stats.intermediate_tuples;
   return joined;
 }

@@ -20,6 +20,10 @@ class YannakakisEngine : public Engine {
   std::string name() const override { return "yannakakis"; }
   ExecResult Execute(const BoundQuery& q,
                      const ExecOptions& opts) const override;
+  // Joins transient semijoin-reduced copies; never touches the catalog.
+  CatalogWarmup catalog_warmup() const override {
+    return CatalogWarmup::kNone;
+  }
 };
 
 }  // namespace wcoj

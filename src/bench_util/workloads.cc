@@ -86,12 +86,14 @@ DatasetRelations::DatasetRelations(const Graph& g)
 
 void DatasetRelations::Resample(double selectivity, uint64_t seed) {
   for (int i = 0; i < 4; ++i) {
+    catalog_.Invalidate(&samples_[i]);
     samples_[i] = SampleNodes(*graph_, selectivity, seed * 4 + i + 1);
   }
 }
 
 void DatasetRelations::ResampleExact(int64_t count, uint64_t seed) {
   for (int i = 0; i < 4; ++i) {
+    catalog_.Invalidate(&samples_[i]);
     samples_[i] = SampleNodesExact(*graph_, count, seed * 4 + i + 1);
   }
 }
@@ -104,7 +106,9 @@ std::map<std::string, const Relation*> DatasetRelations::Map() const {
 
 BoundQuery BindWorkload(const Workload& w, const DatasetRelations& rels) {
   const Query q = MustParseQuery(w.query_text);
-  return Bind(q, rels.Map(), w.gao);
+  BoundQuery bq = Bind(q, rels.Map(), w.gao);
+  bq.catalog = rels.catalog();
+  return bq;
 }
 
 }  // namespace wcoj

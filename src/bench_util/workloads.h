@@ -13,6 +13,7 @@
 
 #include "graph/graph.h"
 #include "query/query.h"
+#include "storage/catalog.h"
 #include "storage/relation.h"
 
 namespace wcoj {
@@ -31,8 +32,11 @@ struct Workload {
 const std::vector<Workload>& PaperWorkloads();
 const Workload& WorkloadByName(const std::string& name);
 
-// Relations derived from one graph, owning storage. v1..v4 are node
-// samples regenerated per selectivity via Resample.
+// Relations derived from one graph, owning storage plus the shared
+// index catalog over it (the resident-index regime the paper measures
+// in; see storage/catalog.h). v1..v4 are node samples regenerated per
+// selectivity via Resample, which invalidates their cached indexes.
+// Non-copyable: catalog keys reference this object's relations.
 class DatasetRelations {
  public:
   explicit DatasetRelations(const Graph& g);
@@ -43,14 +47,18 @@ class DatasetRelations {
   void ResampleExact(int64_t count, uint64_t seed);
 
   std::map<std::string, const Relation*> Map() const;
+  IndexCatalog* catalog() const { return &catalog_; }
 
  private:
   Relation edge_, edge_lt_, node_;
   std::vector<Relation> samples_;  // v1..v4
   const Graph* graph_;
+  mutable IndexCatalog catalog_;
 };
 
-// Binds a workload; dies on inconsistencies (bench-internal misuse).
+// Binds a workload against the dataset's relations and catalog; dies on
+// inconsistencies (bench-internal misuse). The result shares `rels`'s
+// resident indexes — first execution is the cold build, later ones warm.
 BoundQuery BindWorkload(const Workload& w, const DatasetRelations& rels);
 
 }  // namespace wcoj

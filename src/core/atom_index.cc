@@ -1,0 +1,41 @@
+#include "core/atom_index.h"
+
+namespace wcoj {
+
+AtomIndexSet::AtomIndexSet(const BoundQuery& q, IndexCatalog* catalog,
+                           EngineStats* stats,
+                           const std::vector<const TrieIndex*>* prebuilt) {
+  ptrs_.reserve(q.atoms.size());
+  for (size_t a = 0; a < q.atoms.size(); ++a) {
+    if (prebuilt != nullptr && (*prebuilt)[a] != nullptr) {
+      ptrs_.push_back((*prebuilt)[a]);
+      continue;
+    }
+    const BoundAtom& atom = q.atoms[a];
+    std::vector<int> perm = GaoConsistentPerm(atom.vars);
+    if (catalog != nullptr) {
+      ptrs_.push_back(catalog->GetOrBuildCounted(*atom.relation,
+                                                 std::move(perm),
+                                                 &stats->index_builds,
+                                                 &stats->index_cache_hits));
+    } else {
+      owned_.push_back(
+          std::make_unique<TrieIndex>(*atom.relation, std::move(perm)));
+      ptrs_.push_back(owned_.back().get());
+      ++stats->index_builds;
+    }
+  }
+}
+
+EngineStats WarmQueryIndexes(const BoundQuery& q) {
+  EngineStats stats;
+  if (q.catalog == nullptr) return stats;
+  for (const BoundAtom& atom : q.atoms) {
+    q.catalog->GetOrBuildCounted(*atom.relation, GaoConsistentPerm(atom.vars),
+                                 &stats.index_builds,
+                                 &stats.index_cache_hits);
+  }
+  return stats;
+}
+
+}  // namespace wcoj

@@ -1,0 +1,44 @@
+#ifndef WCOJ_CORE_ATOM_INDEX_H_
+#define WCOJ_CORE_ATOM_INDEX_H_
+
+// Per-execution resolution of the GAO-consistent trie index of every
+// atom in a BoundQuery — the one place the LFTJ / Minesweeper / hybrid
+// engines get their indexes from. With a catalog the indexes are shared
+// and memoized (LogicBlox's resident-index regime); without one each
+// execution builds private copies, the repo's original behaviour.
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/trie.h"
+
+namespace wcoj {
+
+class AtomIndexSet {
+ public:
+  // Resolves one index per atom of `q`, recording build / cache-hit
+  // counts into *stats. `prebuilt` (when non-null) supplies per-atom
+  // overrides; its null entries fall through to the catalog-or-build
+  // path. Indexes resolved without a catalog are owned by this object.
+  AtomIndexSet(const BoundQuery& q, IndexCatalog* catalog, EngineStats* stats,
+               const std::vector<const TrieIndex*>* prebuilt = nullptr);
+
+  const TrieIndex* at(size_t atom) const { return ptrs_[atom]; }
+  size_t size() const { return ptrs_.size(); }
+
+ private:
+  std::vector<const TrieIndex*> ptrs_;
+  std::vector<std::unique_ptr<TrieIndex>> owned_;
+};
+
+// Pre-builds the GAO-consistent index of every atom of `q` in its
+// catalog (no-op without one), so subsequent executions — e.g. the
+// §4.10 partitioner's jobs — run warm. Returns the build/hit counts.
+EngineStats WarmQueryIndexes(const BoundQuery& q);
+
+}  // namespace wcoj
+
+#endif  // WCOJ_CORE_ATOM_INDEX_H_

@@ -27,6 +27,20 @@ struct EngineStats {
   uint64_t free_tuples = 0;           // Minesweeper candidate tuples
   uint64_t gap_cache_hits = 0;        // Idea 4 avoided probes
   uint64_t intermediate_tuples = 0;   // baseline materialized rows
+  uint64_t index_builds = 0;          // TrieIndex constructions performed
+  uint64_t index_cache_hits = 0;      // catalog indexes reused, no build
+
+  // Field-wise sum; partitioned runs and multi-phase engines merge
+  // per-part stats with this.
+  void Add(const EngineStats& o) {
+    seeks += o.seeks;
+    constraints_inserted += o.constraints_inserted;
+    free_tuples += o.free_tuples;
+    gap_cache_hits += o.gap_cache_hits;
+    intermediate_tuples += o.intermediate_tuples;
+    index_builds += o.index_builds;
+    index_cache_hits += o.index_cache_hits;
+  }
 };
 
 struct ExecOptions {
@@ -36,7 +50,15 @@ struct ExecOptions {
   // parallel output-space partitioner (§4.10).
   Value var0_min = kNegInf;
   Value var0_max = kPosInf;
+  // Overrides BoundQuery::catalog when set (same lifetime contract).
+  IndexCatalog* catalog = nullptr;
 };
+
+// The catalog an execution should fetch indexes from, if any.
+inline IndexCatalog* EffectiveCatalog(const BoundQuery& q,
+                                      const ExecOptions& opts) {
+  return opts.catalog != nullptr ? opts.catalog : q.catalog;
+}
 
 struct ExecResult {
   bool timed_out = false;
@@ -46,12 +68,24 @@ struct ExecResult {
   double seconds = 0.0;  // filled by RunTimed
 };
 
+// How an engine's catalog usage is made resident ahead of timed runs:
+//   kGaoIndexes   consumes the per-atom GAO-consistent indexes, so
+//                 WarmQueryIndexes makes later runs build-free
+//                 (LFTJ, Minesweeper + ablations, the hybrid)
+//   kByExecution  probes plan-dependent permutations that only a real
+//                 execution touches (the pairwise baselines)
+//   kNone         never reads the catalog (Yannakakis, clique)
+enum class CatalogWarmup { kGaoIndexes, kByExecution, kNone };
+
 class Engine {
  public:
   virtual ~Engine() = default;
   virtual std::string name() const = 0;
   virtual ExecResult Execute(const BoundQuery& q,
                              const ExecOptions& opts) const = 0;
+  virtual CatalogWarmup catalog_warmup() const {
+    return CatalogWarmup::kGaoIndexes;
+  }
 };
 
 // Executes and fills result.seconds.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/atom_index.h"
 #include "core/lftj.h"
 #include "core/minesweeper.h"
 #include "storage/trie.h"
@@ -65,9 +66,11 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
   }
   const int n = q.num_vars;
 
-  // Prefix query over GAO positions [0, s).
+  // Prefix query over GAO positions [0, s); shares the full query's
+  // catalog (same relations, prefix-truncated permutations).
   BoundQuery prefix;
   prefix.num_vars = s;
+  prefix.catalog = q.catalog;
   for (const auto& atom : q.atoms) {
     if (AllVarsBelow(atom.vars, s)) prefix.atoms.push_back(atom);
   }
@@ -104,18 +107,17 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
   result.timed_out = prefix_result.timed_out;
 
   LftjEngine lftj;
-  // Pre-build one trie index per suffix atom (ordered by GAO positions):
-  // LFTJ runs once per junction value and must not re-sort the relations.
-  std::vector<std::unique_ptr<TrieIndex>> suffix_indexes;
+  // Resolve one trie index per suffix atom (ordered by GAO positions):
+  // LFTJ runs once per junction value and must not re-sort the
+  // relations. Catalog-resident indexes are shared; the per-junction
+  // singleton below is transient and must never enter the catalog, so
+  // the suffix queries themselves carry no catalog and the singleton
+  // slot stays a per-call private build.
+  AtomIndexSet suffix_indexes(suffix, EffectiveCatalog(q, opts),
+                              &result.stats);
   std::vector<const TrieIndex*> index_ptrs;
-  for (const auto& atom : suffix.atoms) {
-    std::vector<int> perm(atom.vars.size());
-    for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
-    std::sort(perm.begin(), perm.end(),
-              [&](int a, int b) { return atom.vars[a] < atom.vars[b]; });
-    suffix_indexes.push_back(
-        std::make_unique<TrieIndex>(*atom.relation, perm));
-    index_ptrs.push_back(suffix_indexes.back().get());
+  for (size_t a = 0; a < suffix.atoms.size(); ++a) {
+    index_ptrs.push_back(suffix_indexes.at(a));
   }
   index_ptrs.push_back(nullptr);  // singleton junction atom: built per call
   // Memo: junction value -> suffix count (Idea 6's caching effect, made
@@ -151,7 +153,7 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
       result.timed_out = true;
       break;
     }
-    result.stats.seeks += sub.stats.seeks;
+    result.stats.Add(sub.stats);
     result.count += sub.count;
     if (opts.collect_tuples) {
       for (const Tuple& t : sub.tuples) {

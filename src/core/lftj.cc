@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/atom_index.h"
 #include "core/leapfrog.h"
 #include "storage/trie.h"
 
@@ -17,23 +18,15 @@ class LftjRun {
  public:
   LftjRun(const BoundQuery& q, const ExecOptions& opts,
           const std::vector<const TrieIndex*>* prebuilt, ExecResult* result)
-      : q_(q), opts_(opts), result_(result) {
-    // One trie index per atom, columns ordered by GAO position
-    // (GAO-consistency assumption); prebuilt indexes are reused.
+      : q_(q),
+        opts_(opts),
+        result_(result),
+        // One trie index per atom, columns ordered by GAO position
+        // (GAO-consistency assumption); prebuilt and catalog-resident
+        // indexes are reused instead of rebuilt.
+        indexes_(q, EffectiveCatalog(q, opts), &result->stats, prebuilt) {
     for (size_t a = 0; a < q.atoms.size(); ++a) {
-      const auto& atom = q.atoms[a];
-      const TrieIndex* index;
-      if (prebuilt != nullptr && (*prebuilt)[a] != nullptr) {
-        index = (*prebuilt)[a];
-      } else {
-        std::vector<int> perm(atom.vars.size());
-        for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
-        std::sort(perm.begin(), perm.end(),
-                  [&](int a2, int b2) { return atom.vars[a2] < atom.vars[b2]; });
-        owned_.push_back(std::make_unique<TrieIndex>(*atom.relation, perm));
-        index = owned_.back().get();
-      }
-      iters_.push_back(std::make_unique<TrieIterator>(index));
+      iters_.push_back(std::make_unique<TrieIterator>(indexes_.at(a)));
     }
     // For each GAO depth, the iterators participating there.
     per_depth_.resize(q.num_vars);
@@ -114,7 +107,7 @@ class LftjRun {
   const BoundQuery& q_;
   const ExecOptions& opts_;
   ExecResult* result_;
-  std::vector<std::unique_ptr<TrieIndex>> owned_;
+  AtomIndexSet indexes_;
   std::vector<std::unique_ptr<TrieIterator>> iters_;
   std::vector<std::vector<TrieIterator*>> per_depth_;
   std::vector<std::vector<int>> lower_bounds_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/atom_index.h"
 #include "core/cds.h"
 #include "core/constraint.h"
 #include "query/hypergraph.h"
@@ -30,20 +31,15 @@ class MsRun {
  public:
   MsRun(const MsOptions& ms, const BoundQuery& q, const ExecOptions& opts,
         ExecResult* result)
-      : ms_(ms), q_(q), opts_(opts), result_(result) {
-    for (const auto& atom : q.atoms) {
-      std::vector<int> perm(atom.vars.size());
-      for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
-      std::sort(perm.begin(), perm.end(),
-                [&](int a, int b) { return atom.vars[a] < atom.vars[b]; });
-      indexes_.push_back(std::make_unique<TrieIndex>(*atom.relation, perm));
-      std::vector<int> sorted_vars = atom.vars;
-      std::sort(sorted_vars.begin(), sorted_vars.end());
-      atom_vars_.push_back(std::move(sorted_vars));
+      : ms_(ms),
+        q_(q),
+        opts_(opts),
+        result_(result),
+        indexes_(q, EffectiveCatalog(q, opts), &result->stats) {
+    for (size_t a = 0; a < q.atoms.size(); ++a) {
+      atom_vars_.push_back(q.AtomVarsSorted(a));
       // Nonnegative-domain contract (frontier floor is -1).
-      const Relation& data = indexes_.back()->data();
-      assert(data.size() == 0 || data.At(0, 0) >= 0);
-      (void)data;
+      assert(indexes_.at(a)->size() == 0 || indexes_.at(a)->ColMin(0) >= 0);
     }
     skeleton_.assign(q.atoms.size(), true);
     if (ms.idea7_skeleton) skeleton_ = BetaAcyclicSkeleton(q);
@@ -149,7 +145,7 @@ class MsRun {
           if (!have_gap) continue;  // cache proves no gap from this atom
         } else {
           TrieIndex::GapProbe probe =
-              indexes_[a]->SeekGap(proj, &result_->stats.seeks);
+              indexes_.at(a)->SeekGap(proj, &result_->stats.seeks);
           if (probe.found) {
             caches_[a].valid = true;
             caches_[a].fail_pos = probe.fail_pos;  // == arity: membership
@@ -228,27 +224,21 @@ class MsRun {
   // never violate the chain property.
   void InsertDomainBounds(Cds* cds) {
     for (size_t a = 0; a < q_.atoms.size(); ++a) {
-      const Relation& data = indexes_[a]->data();
+      const TrieIndex& index = *indexes_.at(a);
       for (size_t p = 0; p < atom_vars_[a].size(); ++p) {
         const int depth = atom_vars_[a][p];
         Constraint c;
         c.pattern.assign(depth, kWildcard);
-        if (data.size() == 0) {
+        if (index.size() == 0) {
           c.lo = kNegInf;
           c.hi = kPosInf;
           cds->InsertConstraint(c);
           continue;
         }
-        Value lo = data.At(0, static_cast<int>(p));
-        Value hi = lo;
-        for (size_t r = 1; r < data.size(); ++r) {
-          lo = std::min(lo, data.At(r, static_cast<int>(p)));
-          hi = std::max(hi, data.At(r, static_cast<int>(p)));
-        }
         c.lo = kNegInf;
-        c.hi = lo;
+        c.hi = index.ColMin(static_cast<int>(p));
         if (c.lo < c.hi) cds->InsertConstraint(c);
-        c.lo = hi;
+        c.lo = index.ColMax(static_cast<int>(p));
         c.hi = kPosInf;
         if (c.lo < c.hi) cds->InsertConstraint(c);
       }
@@ -299,7 +289,7 @@ class MsRun {
   const BoundQuery& q_;
   const ExecOptions& opts_;
   ExecResult* result_;
-  std::vector<std::unique_ptr<TrieIndex>> indexes_;
+  AtomIndexSet indexes_;
   std::vector<std::vector<int>> atom_vars_;  // sorted GAO positions per atom
   std::vector<bool> skeleton_;
   std::vector<GapCache> caches_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
+
+#include "storage/catalog.h"
 
 namespace wcoj {
 
@@ -84,6 +87,21 @@ BoundQuery Bind(const Query& query,
     bq.less_than.emplace_back(pos.at(f.lo), pos.at(f.hi));
   }
   return bq;
+}
+
+BoundQuery Bind(const Query& query, const Database& db,
+                const std::vector<std::string>& gao) {
+  BoundQuery bq = Bind(query, db.Map(), gao);
+  bq.catalog = db.catalog();
+  return bq;
+}
+
+std::vector<int> GaoConsistentPerm(const std::vector<int>& vars) {
+  std::vector<int> perm(vars.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](int a, int b) { return vars[a] < vars[b]; });
+  return perm;
 }
 
 bool FiltersOk(const BoundQuery& q, const Tuple& t, int prefix_len) {

@@ -20,6 +20,9 @@
 
 namespace wcoj {
 
+class Database;      // storage/catalog.h
+class IndexCatalog;  // storage/catalog.h
+
 struct Atom {
   std::string relation;
   std::vector<std::string> vars;
@@ -52,6 +55,12 @@ struct BoundQuery {
   // Pairs (a, b) meaning value(a) < value(b), with a, b GAO positions.
   std::vector<std::pair<int, int>> less_than;
   std::vector<std::string> var_names;  // indexed by GAO position
+  // Shared bind-time index catalog (set by the Database overload of
+  // Bind, or by hand). Engines fetch memoized GAO-consistent trie
+  // indexes through it instead of rebuilding per execution; null means
+  // legacy per-run builds. Non-owning: the catalog and the relations
+  // behind its indexes must outlive every execution of this query.
+  IndexCatalog* catalog = nullptr;
 
   // Sorted GAO positions of atom `i`'s variables.
   std::vector<int> AtomVarsSorted(size_t i) const;
@@ -65,6 +74,19 @@ struct BoundQuery {
 BoundQuery Bind(const Query& query,
                 const std::map<std::string, const Relation*>& relations,
                 const std::vector<std::string>& gao);
+
+// Binds against a Database: relations are resolved by name and the
+// result carries the database's IndexCatalog, so engines execute over
+// resident shared indexes (the paper's LogicBlox setting).
+BoundQuery Bind(const Query& query, const Database& db,
+                const std::vector<std::string>& gao);
+
+// The GAO-consistent trie permutation for one bound atom: perm[i] = the
+// relation column exposed at trie depth i, columns ordered by ascending
+// GAO position (stable on ties, so equal queries key the same catalog
+// entry). Shared by LFTJ, Minesweeper, the hybrid, and the §4.10
+// partitioner's catalog pre-warm.
+std::vector<int> GaoConsistentPerm(const std::vector<int>& vars);
 
 // True if `t` (indexed by GAO position; entries may be partial up to
 // `prefix_len`) satisfies every filter whose two variables are below

@@ -1,0 +1,74 @@
+#include "storage/catalog.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wcoj {
+
+const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
+                                          std::vector<int> perm, bool* built) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[Key{&rel, perm}];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  // The build runs outside the map lock so distinct keys build in
+  // parallel; call_once makes same-key racers block until the winner's
+  // index is ready.
+  bool did_build = false;
+  std::call_once(entry->once, [&] {
+    entry->index = std::make_unique<TrieIndex>(rel, std::move(perm));
+    did_build = true;
+    builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  if (!did_build) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (built != nullptr) *built = did_build;
+  return entry->index.get();
+}
+
+void IndexCatalog::Invalidate(const Relation* rel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.rel == rel) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IndexCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t IndexCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+const Relation* Database::Put(const std::string& name, Relation rel) {
+  assert(rel.built() && "Database relations must be Build()-finalized");
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    catalog_.Invalidate(&it->second);
+    it->second = std::move(rel);
+    return &it->second;
+  }
+  return &relations_.emplace(name, std::move(rel)).first->second;
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::map<std::string, const Relation*> Database::Map() const {
+  std::map<std::string, const Relation*> out;
+  for (const auto& [name, rel] : relations_) out.emplace(name, &rel);
+  return out;
+}
+
+}  // namespace wcoj

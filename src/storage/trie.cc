@@ -48,6 +48,23 @@ TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm)
   }
 }
 
+void TrieIndex::EnsureColStats() const {
+  std::call_once(col_stats_once_, [this] {
+    col_min_.assign(arity(), kPosInf);
+    col_max_.assign(arity(), kNegInf);
+    if (data_.size() == 0) return;
+    // Column 0 is the sort's major key; the rest need a scan.
+    col_min_[0] = data_.At(0, 0);
+    col_max_[0] = data_.At(data_.size() - 1, 0);
+    for (int c = 1; c < arity(); ++c) {
+      for (size_t r = 0; r < data_.size(); ++r) {
+        col_min_[c] = std::min(col_min_[c], data_.At(r, c));
+        col_max_[c] = std::max(col_max_[c], data_.At(r, c));
+      }
+    }
+  });
+}
+
 size_t TrieIndex::LowerBound(size_t lo, size_t hi, int col, Value v) const {
   return Gallop(data_, lo, hi, col, v, /*upper=*/false);
 }

@@ -18,6 +18,7 @@
 // amortized O(1 + log distance), which both algorithms' analyses assume.
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "storage/relation.h"
@@ -34,6 +35,19 @@ class TrieIndex {
   size_t size() const { return data_.size(); }
   const Relation& data() const { return data_; }
   const std::vector<int>& perm() const { return perm_; }
+
+  // Min/max value of trie column `col` (a real system reads these from
+  // index metadata). Computed lazily on first use — thread-safe, and
+  // cold builds that never read them skip the scan — then cached for
+  // the index's lifetime. kPosInf/kNegInf when empty.
+  Value ColMin(int col) const {
+    EnsureColStats();
+    return col_min_[col];
+  }
+  Value ColMax(int col) const {
+    EnsureColStats();
+    return col_max_[col];
+  }
 
   // Rows in [lo, hi) whose column `col` equals the value at row `lo`...
   // Internal helpers used by the iterator; exposed for tests.
@@ -52,8 +66,13 @@ class TrieIndex {
   GapProbe SeekGap(const Tuple& t, uint64_t* seek_counter = nullptr) const;
 
  private:
+  void EnsureColStats() const;
+
   Relation data_;  // tuples in trie order
   std::vector<int> perm_;
+  // Per-trie-column metadata; lazily filled under col_stats_once_.
+  mutable std::once_flag col_stats_once_;
+  mutable std::vector<Value> col_min_, col_max_;
 };
 
 // Cursor over a TrieIndex. Depth -1 is the virtual root; Open() descends,

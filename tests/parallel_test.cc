@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "bench_util/workloads.h"
+#include "storage/catalog.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/sampling.h"
@@ -79,6 +80,81 @@ INSTANTIATE_TEST_SUITE_P(
       return "c" + std::to_string(std::get<0>(info.param)) + "_f" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Hammer GetOrBuild from the job pool: every distinct (relation, perm)
+// key must be built exactly once, and every concurrent caller must
+// receive the pointer-identical resident index.
+TEST(IndexCatalogTest, ConcurrentGetOrBuildBuildsOncePerKey) {
+  Graph g = ErdosRenyi(200, 800, 5);
+  GraphRelations rels = MakeGraphRelations(g);
+  const std::vector<std::pair<const Relation*, std::vector<int>>> keys = {
+      {&rels.edge, {0, 1}},    {&rels.edge, {1, 0}},
+      {&rels.edge_lt, {0, 1}}, {&rels.node, {0}},
+      {&rels.v1, {0}},
+  };
+  constexpr int kJobs = 64;
+  IndexCatalog catalog;
+  std::vector<std::vector<const TrieIndex*>> seen(
+      kJobs, std::vector<const TrieIndex*>(keys.size()));
+  std::vector<std::function<void()>> jobs;
+  for (int j = 0; j < kJobs; ++j) {
+    jobs.push_back([&, j]() {
+      for (size_t k = 0; k < keys.size(); ++k) {
+        seen[j][k] = catalog.GetOrBuild(*keys[k].first, keys[k].second);
+      }
+    });
+  }
+  JobPool(8).Run(jobs);
+  EXPECT_EQ(catalog.builds(), keys.size());
+  EXPECT_EQ(catalog.size(), keys.size());
+  EXPECT_EQ(catalog.hits(), kJobs * keys.size() - keys.size());
+  for (int j = 0; j < kJobs; ++j) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      EXPECT_EQ(seen[j][k], seen[0][k]) << "job " << j << " key " << k;
+    }
+  }
+}
+
+// The ISSUE acceptance bar: a partitioned run over a shared catalog
+// performs exactly one index build per distinct (relation, permutation)
+// pair regardless of partition count, visible in the EngineStats.
+TEST(PartitionedRunTest, CatalogBuildsOncePerDistinctIndexAcrossPartitions) {
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 3.0, 4);
+  rels.v2 = SampleNodes(g, 3.0, 5);
+  struct Case {
+    const char* engine;
+    const char* query;
+    std::vector<std::string> gao;
+    uint64_t distinct_indexes;
+  };
+  const Case cases[] = {
+      // Triangle: edge_lt three times under one permutation = 1 index.
+      {"lftj", "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"},
+       1},
+      {"ms", "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"}, 1},
+      // 3-path: v1, v2, and edge (three occurrences, same perm) = 3.
+      {"ms", "v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)",
+       {"a", "b", "c", "d"}, 3},
+  };
+  for (const auto& c : cases) {
+    auto engine = CreateEngine(c.engine);
+    BoundQuery bq = Bind(MustParseQuery(c.query), rels.Map(), c.gao);
+    const ExecResult direct = engine->Execute(bq, ExecOptions{});
+    for (int granularity : {1, 8}) {
+      IndexCatalog catalog;
+      bq.catalog = &catalog;
+      const ExecResult split = PartitionedExecute(
+          *engine, bq, ExecOptions{}, /*num_threads=*/3, granularity);
+      EXPECT_EQ(split.count, direct.count) << c.engine << " f=" << granularity;
+      EXPECT_EQ(split.stats.index_builds, c.distinct_indexes)
+          << c.engine << " f=" << granularity;
+      EXPECT_EQ(catalog.builds(), c.distinct_indexes)
+          << c.engine << " f=" << granularity;
+    }
+  }
+}
 
 TEST(PartitionedRunTest, CollectedTuplesAreCompleteAndSorted) {
   Graph g = ErdosRenyi(30, 90, 8);

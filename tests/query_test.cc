@@ -8,6 +8,7 @@
 #include "query/agm.h"
 #include "query/hypergraph.h"
 #include "query/parser.h"
+#include "storage/catalog.h"
 #include "storage/relation.h"
 #include "tests/test_util.h"
 
@@ -310,6 +311,46 @@ TEST(NeoTest, PaperWorkloadsSplitByCyclicity) {
   for (const auto& [text, acyclic] : cases) {
     EXPECT_EQ(FindNeoGao(MustParseQuery(text)).has_value(), acyclic) << text;
   }
+}
+
+TEST(GaoConsistentPermTest, OrdersColumnsByGaoPosition) {
+  // Atom columns bound to GAO positions (2, 0, 1): the trie must expose
+  // the var-0 column first, then var-1, then var-2.
+  EXPECT_EQ(GaoConsistentPerm({2, 0, 1}), (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(GaoConsistentPerm({0, 1}), (std::vector<int>{0, 1}));
+  EXPECT_EQ(GaoConsistentPerm({1, 0}), (std::vector<int>{1, 0}));
+  EXPECT_EQ(GaoConsistentPerm({}), (std::vector<int>{}));
+  // Ties (a variable bound twice) resolve stably by column, so equal
+  // atoms always produce the same catalog key.
+  EXPECT_EQ(GaoConsistentPerm({3, 3, 1}), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(GaoConsistentPermTest, MatchesBoundAtomSortedVars) {
+  const Query q = MustParseQuery("v1(a), v2(d), edge(a,b), edge(b,c)");
+  GraphRelations rels = MakeGraphRelations(ErdosRenyi(20, 40, 3));
+  const BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d"});
+  for (size_t i = 0; i < bq.atoms.size(); ++i) {
+    const std::vector<int> perm = GaoConsistentPerm(bq.atoms[i].vars);
+    const std::vector<int> sorted = bq.AtomVarsSorted(i);
+    ASSERT_EQ(perm.size(), sorted.size());
+    for (size_t p = 0; p < perm.size(); ++p) {
+      EXPECT_EQ(bq.atoms[i].vars[perm[p]], sorted[p]);
+    }
+  }
+}
+
+TEST(BindTest, DatabaseOverloadAttachesCatalog) {
+  Database db;
+  db.Put("edge", Relation::FromTuples(2, {{1, 2}, {2, 3}}));
+  const Query q = MustParseQuery("edge(a,b), edge(b,c)");
+  const BoundQuery bq = Bind(q, db, {"a", "b", "c"});
+  EXPECT_EQ(bq.catalog, db.catalog());
+  ASSERT_EQ(bq.atoms.size(), 2u);
+  EXPECT_EQ(bq.atoms[0].relation, db.Find("edge"));
+  ExecResult r = CreateEngine("lftj")->Execute(bq, ExecOptions{});
+  EXPECT_EQ(r.count, 1u);  // (1,2,3)
+  EXPECT_EQ(r.stats.index_builds + r.stats.index_cache_hits, 2u);
+  EXPECT_EQ(db.catalog()->builds(), r.stats.index_builds);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "storage/catalog.h"
 #include "storage/relation.h"
 #include "storage/trie.h"
 #include "util/rng.h"
@@ -237,6 +238,85 @@ TEST_P(TrieRandomTest, SeekGapNeverContainsDataPoints) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrieRandomTest, ::testing::Range(0, 8));
+
+TEST(TrieIndexTest, ColumnMinMaxMetadata) {
+  Relation r = Relation::FromTuples(2, {{3, 9}, {5, 1}, {8, 4}});
+  TrieIndex index(r);
+  EXPECT_EQ(index.ColMin(0), 3);
+  EXPECT_EQ(index.ColMax(0), 8);
+  EXPECT_EQ(index.ColMin(1), 1);
+  EXPECT_EQ(index.ColMax(1), 9);
+  // Metadata follows the trie's column order, not the relation's.
+  TrieIndex swapped(r, {1, 0});
+  EXPECT_EQ(swapped.ColMin(0), 1);
+  EXPECT_EQ(swapped.ColMax(0), 9);
+  Relation empty(2);
+  empty.Build();
+  TrieIndex none(empty);
+  EXPECT_EQ(none.ColMin(0), kPosInf);
+  EXPECT_EQ(none.ColMax(0), kNegInf);
+}
+
+TEST(IndexCatalogTest, MemoizesByRelationAndPermutation) {
+  Relation r = Relation::FromTuples(2, {{1, 2}, {3, 4}});
+  Relation s = Relation::FromTuples(2, {{5, 6}});
+  IndexCatalog catalog;
+  bool built = false;
+  const TrieIndex* a = catalog.GetOrBuild(r, {0, 1}, &built);
+  EXPECT_TRUE(built);
+  const TrieIndex* b = catalog.GetOrBuild(r, {0, 1}, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(a, b);  // pointer-identical: one resident index
+  const TrieIndex* c = catalog.GetOrBuild(r, {1, 0}, &built);
+  EXPECT_TRUE(built);
+  EXPECT_NE(a, c);
+  const TrieIndex* d = catalog.GetOrBuild(s, {0, 1}, &built);
+  EXPECT_TRUE(built);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog.builds(), 3u);
+  EXPECT_EQ(catalog.hits(), 1u);
+}
+
+TEST(IndexCatalogTest, InvalidateDropsOnlyThatRelation) {
+  Relation r = Relation::FromTuples(1, {{1}, {2}});
+  Relation s = Relation::FromTuples(1, {{9}});
+  IndexCatalog catalog;
+  catalog.GetOrBuild(r, {0});
+  const TrieIndex* kept = catalog.GetOrBuild(s, {0});
+  catalog.Invalidate(&r);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.GetOrBuild(s, {0}), kept);
+  // Replacing r's contents in place then rebuilding reflects the new data.
+  r = Relation::FromTuples(1, {{7}});
+  bool built = false;
+  const TrieIndex* fresh = catalog.GetOrBuild(r, {0}, &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(fresh->size(), 1u);
+  EXPECT_EQ(fresh->ColMin(0), 7);
+}
+
+TEST(DatabaseTest, PutFindMapAndReplaceInvalidation) {
+  Database db;
+  const Relation* edge =
+      db.Put("edge", Relation::FromTuples(2, {{1, 2}, {2, 3}}));
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(db.Find("edge"), edge);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+  EXPECT_EQ(db.Map().at("edge"), edge);
+
+  const TrieIndex* index = db.catalog()->GetOrBuild(*edge, {0, 1});
+  EXPECT_EQ(index->size(), 2u);
+  // Replacing keeps the resident address but drops the stale index.
+  const Relation* replaced =
+      db.Put("edge", Relation::FromTuples(2, {{4, 5}}));
+  EXPECT_EQ(replaced, edge);
+  EXPECT_EQ(db.catalog()->size(), 0u);
+  bool built = false;
+  const TrieIndex* rebuilt = db.catalog()->GetOrBuild(*edge, {0, 1}, &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(rebuilt->size(), 1u);
+}
 
 }  // namespace
 }  // namespace wcoj

@@ -3,9 +3,11 @@
 // unary leapfrog intersection, CDS interval inserts, and the shared
 // IndexCatalog. These are the constants behind every table in the paper.
 //
-// After the registered benchmarks run, main() measures cold-build vs
-// warm-catalog end-to-end query timings and writes them to
-// BENCH_index_catalog.json (machine-readable; see EmitCatalogReport).
+// After the registered benchmarks run, main() writes two
+// machine-readable reports: BENCH_trie_layout.json (CSR layout vs the
+// pre-change row-major layout on deep skewed tries; see
+// EmitTrieLayoutReport) and BENCH_index_catalog.json (cold-build vs
+// warm-catalog end-to-end query timings; see EmitCatalogReport).
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +24,7 @@
 #include "storage/catalog.h"
 #include "storage/trie.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace wcoj {
 namespace {
@@ -126,6 +129,452 @@ void BM_CatalogColdBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CatalogColdBuild)->Arg(1 << 10)->Arg(1 << 14);
 
+double MedianSeconds(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+// --- Deep-trie workloads over skewed key runs (arity 3-5) ---
+
+// Per-level key domains for the deep-trie workloads: shallow levels
+// draw from tiny domains, so each shallow key spans a long duplicate
+// run in row space (the degree-skew shape of real edge relations),
+// while the leaf level draws from a wide domain, giving each group a
+// large sorted adjacency-style key set. A row-major layout gallops
+// through the runs with stride `arity`; the CSR layout sees one packed
+// distinct key per node.
+std::vector<Value> DeepDomains(int arity) {
+  std::vector<Value> domain(arity, 64);
+  domain[0] = 4;
+  domain[arity - 1] = 1 << 17;
+  return domain;
+}
+
+Relation DeepSkewed(int arity, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<Value> domain = DeepDomains(arity);
+  Relation r(arity);
+  r.Reserve(rows);
+  Tuple t(arity);
+  for (size_t i = 0; i < rows; ++i) {
+    for (int c = 0; c < arity; ++c) {
+      t[c] = static_cast<Value>(rng.NextBounded(domain[c]));
+    }
+    r.Add(t);
+  }
+  r.Build();
+  return r;
+}
+
+void BM_DeepTrieSeekGap(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const Relation rel = DeepSkewed(arity, 1 << 15, 11);
+  const std::vector<Value> domain = DeepDomains(arity);
+  const TrieIndex index(rel);
+  Rng rng(12);
+  Tuple t(arity);
+  for (auto _ : state) {
+    if (rng.NextBounded(2) == 0) {
+      t = rel.RowTuple(rng.NextBounded(rel.size()));
+      t[arity - 1] += 1;  // near-miss at the deepest level
+    } else {
+      for (int c = 0; c < arity; ++c) {
+        t[c] = static_cast<Value>(rng.NextBounded(domain[c]));
+      }
+    }
+    benchmark::DoNotOptimize(index.SeekGap(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeepTrieSeekGap)->Arg(3)->Arg(4)->Arg(5);
+
+// Full depth-first sweep; returns the number of leaves visited.
+template <class It>
+uint64_t SweepTrie(It* it, int arity, int depth = 0) {
+  uint64_t rows = 0;
+  it->Open();
+  while (!it->AtEnd()) {
+    if (depth + 1 == arity) {
+      ++rows;
+    } else {
+      rows += SweepTrie(it, arity, depth + 1);
+    }
+    it->Next();
+  }
+  it->Up();
+  return rows;
+}
+
+void BM_DeepTrieSweep(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const Relation rel = DeepSkewed(arity, 1 << 15, 13);
+  const TrieIndex index(rel);
+  for (auto _ : state) {
+    TrieIterator it(&index);
+    benchmark::DoNotOptimize(SweepTrie(&it, arity));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 15));
+}
+BENCHMARK(BM_DeepTrieSweep)->Arg(3)->Arg(4)->Arg(5);
+
+// --- CSR vs pre-change row-major layout (BENCH_trie_layout.json) ---
+
+// Faithful port of the layout TrieIndex used before the CSR change: a
+// row-major permuted Relation copy, seeks galloping over rows with
+// stride `arity`, iterator runs delimited by UpperBound (FixRun). Kept
+// here only as the baseline the BENCH_trie_layout.json speedups are
+// measured against.
+class RowMajorTrie {
+ public:
+  RowMajorTrie(const Relation& rel, std::vector<int> perm = {})
+      : data_(rel.arity()) {
+    if (perm.empty()) {
+      data_ = rel;
+    } else {
+      data_ = rel.Permuted(perm);
+    }
+  }
+
+  int arity() const { return data_.arity(); }
+  size_t size() const { return data_.size(); }
+  const Relation& data() const { return data_; }
+
+  size_t LowerBound(size_t lo, size_t hi, int col, Value v) const {
+    return Gallop(lo, hi, col, v, /*upper=*/false);
+  }
+  size_t UpperBound(size_t lo, size_t hi, int col, Value v) const {
+    return Gallop(lo, hi, col, v, /*upper=*/true);
+  }
+
+  TrieIndex::GapProbe SeekGap(const Tuple& t) const {
+    TrieIndex::GapProbe probe;
+    size_t lo = 0, hi = data_.size();
+    for (int d = 0; d < arity(); ++d) {
+      const size_t run_lo = LowerBound(lo, hi, d, t[d]);
+      const size_t run_hi = UpperBound(run_lo, hi, d, t[d]);
+      if (run_lo == run_hi) {
+        probe.found = false;
+        probe.fail_pos = d;
+        probe.glb = run_lo > lo ? data_.At(run_lo - 1, d) : kNegInf;
+        probe.lub = run_lo < hi ? data_.At(run_lo, d) : kPosInf;
+        return probe;
+      }
+      lo = run_lo;
+      hi = run_hi;
+    }
+    probe.found = true;
+    probe.fail_pos = arity();
+    return probe;
+  }
+
+ private:
+  size_t Gallop(size_t lo, size_t hi, int col, Value v, bool upper) const {
+    auto before = [&](size_t row) {
+      const Value x = data_.At(row, col);
+      return upper ? x <= v : x < v;
+    };
+    size_t step = 1;
+    size_t b = lo;
+    while (b < hi && before(b)) {
+      b = lo + step;
+      step <<= 1;
+    }
+    b = std::min(b, hi);
+    size_t a = lo;
+    while (a < b) {
+      const size_t mid = a + (b - a) / 2;
+      if (before(mid)) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    return a;
+  }
+
+  Relation data_;
+};
+
+// The pre-change TrieIterator, ported against RowMajorTrie.
+class RowMajorIterator {
+ public:
+  explicit RowMajorIterator(const RowMajorTrie* index)
+      : index_(index), depth_(-1) {
+    levels_.reserve(index->arity());
+  }
+
+  bool AtEnd() const {
+    const Level& lv = levels_[depth_];
+    return lv.pos >= lv.group_hi;
+  }
+  Value Key() const { return index_->data().At(levels_[depth_].pos, depth_); }
+
+  void Open() {
+    size_t lo, hi;
+    if (depth_ < 0) {
+      lo = 0;
+      hi = index_->size();
+    } else {
+      lo = levels_[depth_].pos;
+      hi = levels_[depth_].run_hi;
+    }
+    ++depth_;
+    if (static_cast<size_t>(depth_) >= levels_.size()) levels_.emplace_back();
+    Level& lv = levels_[depth_];
+    lv.group_lo = lo;
+    lv.group_hi = hi;
+    lv.pos = lo;
+    FixRun(&lv);
+  }
+  void Up() { --depth_; }
+  void Next() {
+    Level& lv = levels_[depth_];
+    lv.pos = lv.run_hi;
+    FixRun(&lv);
+  }
+  void Seek(Value v) {
+    Level& lv = levels_[depth_];
+    lv.pos = index_->LowerBound(lv.pos, lv.group_hi, depth_, v);
+    FixRun(&lv);
+  }
+
+ private:
+  struct Level {
+    size_t group_lo, group_hi;
+    size_t pos;
+    size_t run_hi;
+  };
+  void FixRun(Level* lv) {
+    if (lv->pos >= lv->group_hi) {
+      lv->run_hi = lv->group_hi;
+      return;
+    }
+    const Value v = index_->data().At(lv->pos, depth_);
+    lv->run_hi = index_->UpperBound(lv->pos, lv->group_hi, depth_, v);
+  }
+
+  const RowMajorTrie* index_;
+  int depth_;
+  std::vector<Level> levels_;
+};
+
+// A relation shaped like one side of an LFTJ per-variable
+// intersection: a wide level-0 key domain (the join variable) over a
+// deep subtree per key, so every level-0 key spans a run of `rows /
+// distinct` tuples in row space — a vertex-degree profile.
+Relation IntersectSide(int arity, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> domain(arity, 4);
+  domain[0] = 4096;
+  Relation r(arity);
+  r.Reserve(rows);
+  Tuple t(arity);
+  for (size_t i = 0; i < rows; ++i) {
+    for (int c = 0; c < arity; ++c) {
+      t[c] = static_cast<Value>(rng.NextBounded(domain[c]));
+    }
+    r.Add(t);
+  }
+  r.Build();
+  return r;
+}
+
+// Three-way unary leapfrog intersection at depth 0 — LFTJ's
+// per-variable primitive (leapfrog.cc's algorithm, templated so both
+// layouts run the identical control flow). Counts every Seek/Next as
+// one op into *ops; returns the number of matches.
+template <class It>
+uint64_t UnaryLeapfrogCount(It* i0, It* i1, It* i2, uint64_t* ops) {
+  It* its[3] = {i0, i1, i2};
+  for (It* it : its) {
+    it->Open();
+    if (it->AtEnd()) return 0;
+  }
+  std::sort(std::begin(its), std::end(its),
+            [](It* x, It* y) { return x->Key() < y->Key(); });
+  uint64_t matches = 0;
+  int p = 0;
+  Value max_key = its[2]->Key();
+  for (;;) {
+    It* it = its[p];
+    if (it->Key() == max_key) {
+      ++matches;
+      it->Next();
+    } else {
+      it->Seek(max_key);
+    }
+    ++*ops;
+    if (it->AtEnd()) break;
+    max_key = it->Key();
+    p = (p + 1) % 3;
+  }
+  return matches;
+}
+
+struct LayoutCell {
+  std::string workload;
+  int arity = 0;
+  size_t rows = 0;
+  double csr_seconds = 0.0, rowmajor_seconds = 0.0;
+  double csr_items_per_sec = 0.0;
+  const char* items = "rows";
+};
+
+// Medians over `reps` timed runs of both layouts on identical inputs.
+void EmitTrieLayoutReport(const char* path) {
+  constexpr int kReps = 5;
+  constexpr size_t kRows = 1 << 16;
+  constexpr size_t kProbes = 1 << 15;
+  std::vector<LayoutCell> cells;
+  for (int arity = 3; arity <= 5; ++arity) {
+    const Relation rel = DeepSkewed(arity, kRows, 17 + arity);
+    // Leapfrog sides: two dense tries and one 8x-sparser one (a small
+    // adjacency set against large ones), so the intersection mixes
+    // catch-up seeks with match advances, all over run-heavy keys.
+    const Relation lf_a = IntersectSide(arity, kRows, 91 + arity);
+    const Relation lf_b = IntersectSide(arity, kRows, 57 + arity);
+    const Relation lf_c = IntersectSide(arity, kRows / 8, 33 + arity);
+    // Reversed permutation: both builds must reorder columns, which is
+    // where the old layout materializes its permuted Relation copy.
+    std::vector<int> perm(arity);
+    for (int i = 0; i < arity; ++i) perm[i] = arity - 1 - i;
+
+    LayoutCell build{"build", arity, rel.size()};
+    LayoutCell sweep{"iterator_sweep", arity, rel.size()};
+    LayoutCell leapfrog{"leapfrog_intersect", arity, rel.size()};
+    leapfrog.items = "seeks";
+    LayoutCell seekgap{"seekgap", arity, rel.size()};
+    seekgap.items = "seeks";
+
+    // Probe mix: half near-misses of resident tuples, half random.
+    const std::vector<Value> domain = DeepDomains(arity);
+    std::vector<Tuple> probes;
+    probes.reserve(kProbes);
+    Rng rng(23 + arity);
+    for (size_t i = 0; i < kProbes; ++i) {
+      Tuple t(arity);
+      if (rng.NextBounded(2) == 0) {
+        t = rel.RowTuple(rng.NextBounded(rel.size()));
+        t[arity - 1] += 1;
+      } else {
+        for (int c = 0; c < arity; ++c) {
+          t[c] = static_cast<Value>(rng.NextBounded(domain[c]));
+        }
+      }
+      probes.push_back(std::move(t));
+    }
+
+    std::vector<double> b_csr, b_row, s_csr, s_row, l_csr, l_row, g_csr,
+        g_row;
+    uint64_t leapfrog_ops = 0;
+    constexpr int kLeapfrogPasses = 16;
+    for (int rep = 0; rep < kReps; ++rep) {
+      {
+        Stopwatch w;
+        const TrieIndex index(rel, perm);
+        b_csr.push_back(w.ElapsedSeconds());
+        benchmark::DoNotOptimize(index.size());
+      }
+      {
+        Stopwatch w;
+        const RowMajorTrie index(rel, perm);
+        b_row.push_back(w.ElapsedSeconds());
+        benchmark::DoNotOptimize(index.size());
+      }
+      const TrieIndex csr(rel), csr_a(lf_a), csr_b(lf_b), csr_c(lf_c);
+      const RowMajorTrie row(rel), row_a(lf_a), row_b(lf_b), row_c(lf_c);
+      {
+        TrieIterator it(&csr);
+        Stopwatch w;
+        const uint64_t n = SweepTrie(&it, arity);
+        s_csr.push_back(w.ElapsedSeconds());
+        benchmark::DoNotOptimize(n);
+      }
+      {
+        RowMajorIterator it(&row);
+        Stopwatch w;
+        const uint64_t n = SweepTrie(&it, arity);
+        s_row.push_back(w.ElapsedSeconds());
+        benchmark::DoNotOptimize(n);
+      }
+      {
+        Stopwatch w;
+        uint64_t ops = 0, n = 0;
+        for (int pass = 0; pass < kLeapfrogPasses; ++pass) {
+          TrieIterator x(&csr_a), y(&csr_b), z(&csr_c);
+          n += UnaryLeapfrogCount(&x, &y, &z, &ops);
+        }
+        l_csr.push_back(w.ElapsedSeconds());
+        leapfrog_ops = ops;
+        benchmark::DoNotOptimize(n);
+      }
+      {
+        Stopwatch w;
+        uint64_t ops = 0, n = 0;
+        for (int pass = 0; pass < kLeapfrogPasses; ++pass) {
+          RowMajorIterator x(&row_a), y(&row_b), z(&row_c);
+          n += UnaryLeapfrogCount(&x, &y, &z, &ops);
+        }
+        l_row.push_back(w.ElapsedSeconds());
+        benchmark::DoNotOptimize(n);
+      }
+      {
+        Stopwatch w;
+        uint64_t found = 0;
+        for (const Tuple& t : probes) found += csr.SeekGap(t).found;
+        g_csr.push_back(w.ElapsedSeconds());
+        benchmark::DoNotOptimize(found);
+      }
+      {
+        Stopwatch w;
+        uint64_t found = 0;
+        for (const Tuple& t : probes) found += row.SeekGap(t).found;
+        g_row.push_back(w.ElapsedSeconds());
+        benchmark::DoNotOptimize(found);
+      }
+    }
+    build.csr_seconds = MedianSeconds(b_csr);
+    build.rowmajor_seconds = MedianSeconds(b_row);
+    build.csr_items_per_sec = rel.size() / build.csr_seconds;
+    sweep.csr_seconds = MedianSeconds(s_csr);
+    sweep.rowmajor_seconds = MedianSeconds(s_row);
+    sweep.csr_items_per_sec = rel.size() / sweep.csr_seconds;
+    leapfrog.csr_seconds = MedianSeconds(l_csr);
+    leapfrog.rowmajor_seconds = MedianSeconds(l_row);
+    leapfrog.csr_items_per_sec = leapfrog_ops / leapfrog.csr_seconds;
+    seekgap.csr_seconds = MedianSeconds(g_csr);
+    seekgap.rowmajor_seconds = MedianSeconds(g_row);
+    seekgap.csr_items_per_sec =
+        kProbes * static_cast<double>(arity) / seekgap.csr_seconds;
+    cells.push_back(build);
+    cells.push_back(sweep);
+    cells.push_back(leapfrog);
+    cells.push_back(seekgap);
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"trie_layout\",\n");
+  std::fprintf(f, "  \"reps\": %d,\n  \"results\": [\n", kReps);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const LayoutCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"arity\": %d, \"rows\": %zu, "
+        "\"csr_seconds\": %.6f, \"rowmajor_seconds\": %.6f, "
+        "\"speedup\": %.3f, \"csr_%s_per_sec\": %.0f}%s\n",
+        c.workload.c_str(), c.arity, c.rows, c.csr_seconds,
+        c.rowmajor_seconds,
+        c.csr_seconds > 0 ? c.rowmajor_seconds / c.csr_seconds : 0.0,
+        c.items, c.csr_items_per_sec, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 // --- Cold vs warm end-to-end report (BENCH_index_catalog.json) ---
 
 struct CatalogCell {
@@ -133,11 +582,6 @@ struct CatalogCell {
   double cold_seconds = 0.0, warm_seconds = 0.0;
   uint64_t count = 0, index_builds = 0, index_cache_hits = 0;
 };
-
-double MedianSeconds(std::vector<double> xs) {
-  std::sort(xs.begin(), xs.end());
-  return xs[xs.size() / 2];
-}
 
 // Cold = fresh catalog per run (timing includes every index build);
 // warm = resident catalog (the LogicBlox regime the paper measures in).
@@ -224,6 +668,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  wcoj::EmitTrieLayoutReport("BENCH_trie_layout.json");
   wcoj::EmitCatalogReport("BENCH_index_catalog.json");
   return 0;
 }

@@ -150,9 +150,10 @@ class BinaryJoinRun {
     return out;
   }
 
-  // Probe side of a join step over the catalog's sorted index on
-  // (key_cols..., new_cols...): per intermediate row, narrow the row
-  // range column-by-column with galloping bounds, then emit the matches.
+  // Probe side of a join step over the catalog's CSR trie index on
+  // (key_cols..., new_cols...): per intermediate row, an equality
+  // descent over the key levels (one galloped node per level), then a
+  // DFS over the matched subtree emitting the new-column values.
   std::vector<Tuple> IndexProbeStep(const std::vector<Tuple>& inter, int a,
                                     const std::vector<int>& key_cols,
                                     const std::vector<int>& key_inter_cols,
@@ -176,27 +177,59 @@ class BinaryJoinRun {
         }
       }
     }
+    const int k = static_cast<int>(key_cols.size());
+    const int arity = index->arity();
     std::vector<Tuple> out;
-    const Relation& data = index->data();
+    Tuple suffix;  // new-column values along the current DFS path
+    // Emits every leaf under the node range [lo, hi) at `depth`,
+    // appending trie columns k..arity-1 to the intermediate row. A
+    // var0 node outside the partition range prunes its whole subtree.
+    auto emit = [&](auto&& self, const Tuple& row, int depth, size_t lo,
+                    size_t hi) -> void {
+      for (size_t node = lo; node < hi; ++node) {
+        if (result_->timed_out) return;
+        const Value v = index->KeyAt(depth, node);
+        if (depth == var0_col && (v < opts_.var0_min || v > opts_.var0_max)) {
+          continue;
+        }
+        suffix.push_back(v);
+        if (depth + 1 == arity) {
+          if (!Expired()) {
+            Tuple next = row;
+            next.insert(next.end(), suffix.begin(), suffix.end());
+            out.push_back(std::move(next));
+          }
+        } else {
+          self(self, row, depth + 1, index->ChildBegin(depth, node),
+               index->ChildEnd(depth, node));
+        }
+        suffix.pop_back();
+      }
+    };
     for (const Tuple& row : inter) {
-      size_t lo = 0, hi = index->size();
-      for (size_t i = 0; i < key_inter_cols.size() && lo < hi; ++i) {
+      if (result_->timed_out) break;
+      size_t lo = 0, hi = index->LevelSize(0);
+      bool matched = true;
+      for (int i = 0; i < k; ++i) {
         const Value v = row[key_inter_cols[i]];
-        lo = index->LowerBound(lo, hi, static_cast<int>(i), v);
-        hi = index->UpperBound(lo, hi, static_cast<int>(i), v);
-      }
-      for (size_t r = lo; r < hi; ++r) {
-        if (Expired()) return out;  // also covers filtered-out rows
-        if (var0_col >= 0) {
-          const Value v = data.At(r, var0_col);
-          if (v < opts_.var0_min || v > opts_.var0_max) continue;
+        const size_t p = index->LowerBound(i, lo, hi, v);
+        if (p == hi || index->KeyAt(i, p) != v ||
+            (i == var0_col && (v < opts_.var0_min || v > opts_.var0_max))) {
+          matched = false;
+          break;
         }
-        Tuple next = row;
-        for (size_t j = 0; j < new_cols.size(); ++j) {
-          next.push_back(data.At(r, static_cast<int>(key_cols.size() + j)));
+        if (i + 1 < arity) {
+          lo = index->ChildBegin(i, p);
+          hi = index->ChildEnd(i, p);
         }
-        out.push_back(std::move(next));
       }
+      if (!matched) continue;
+      if (k == arity) {
+        // Every column was a key: membership confirmed, emit as-is.
+        if (!Expired()) out.push_back(row);
+        continue;
+      }
+      emit(emit, row, k, lo, hi);
     }
     return out;
   }

@@ -39,6 +39,7 @@ void Graph::Build() {
 Relation Graph::EdgeRelationSymmetric() const {
   assert(built_);
   Relation r(2);
+  r.Reserve(edges_.size() * 2);
   for (const auto& [u, v] : edges_) {
     r.Add({u, v});
     r.Add({v, u});
@@ -50,6 +51,7 @@ Relation Graph::EdgeRelationSymmetric() const {
 Relation Graph::EdgeRelationOriented() const {
   assert(built_);
   Relation r(2);
+  r.Reserve(edges_.size());
   for (const auto& [u, v] : edges_) r.Add({u, v});
   r.Build();
   return r;
@@ -57,6 +59,7 @@ Relation Graph::EdgeRelationOriented() const {
 
 Relation Graph::NodeRelation() const {
   Relation r(1);
+  r.Reserve(static_cast<size_t>(num_nodes_));
   for (int64_t v = 0; v < num_nodes_; ++v) r.Add({v});
   r.Build();
   return r;

@@ -9,6 +9,49 @@
 
 namespace wcoj {
 
+EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads) {
+  EngineStats stats;
+  if (q.catalog == nullptr) return stats;
+  // Distinct (relation, permutation) keys, in first-occurrence order.
+  std::vector<std::pair<const Relation*, std::vector<int>>> keys;
+  std::vector<size_t> atom_key(q.atoms.size());
+  for (size_t a = 0; a < q.atoms.size(); ++a) {
+    std::pair<const Relation*, std::vector<int>> key = {
+        q.atoms[a].relation, GaoConsistentPerm(q.atoms[a].vars)};
+    size_t k = 0;
+    while (k < keys.size() && keys[k] != key) ++k;
+    if (k == keys.size()) keys.push_back(std::move(key));
+    atom_key[a] = k;
+  }
+  // One build job per distinct key; the catalog serializes same-key
+  // racers internally, so distinct keys are the real parallelism.
+  std::vector<char> built(keys.size(), 0);
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    jobs.push_back([&, k]() {
+      bool b = false;
+      q.catalog->GetOrBuild(*keys[k].first, keys[k].second, &b);
+      built[k] = b ? 1 : 0;
+    });
+  }
+  JobPool(num_threads).Run(jobs);
+  // Per-atom accounting, matching the serial WarmQueryIndexes: the
+  // first atom of each key records its build (or resident hit), every
+  // repeat atom a hit.
+  std::vector<char> seen(keys.size(), 0);
+  for (size_t a = 0; a < q.atoms.size(); ++a) {
+    const size_t k = atom_key[a];
+    if (!seen[k] && built[k]) {
+      ++stats.index_builds;
+    } else {
+      ++stats.index_cache_hits;
+    }
+    seen[k] = 1;
+  }
+  return stats;
+}
+
 ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
                               const ExecOptions& opts, int num_threads,
                               int granularity) {
@@ -24,10 +67,11 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
     // Warm the shared catalog once, before any job runs: every partition
     // then executes over the same resident indexes, so the whole run
     // performs one build per distinct (relation, permutation) pair no
-    // matter how many partitions there are.
+    // matter how many partitions there are. Distinct indexes build
+    // concurrently across the job pool instead of serially.
     BoundQuery warm_q = q;
     warm_q.catalog = catalog;
-    total.stats.Add(WarmQueryIndexes(warm_q));
+    total.stats.Add(WarmQueryIndexesParallel(warm_q, num_threads));
   }
 
   // Domain of the first GAO variable: union over atoms containing it.

@@ -15,6 +15,14 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
                               const ExecOptions& opts, int num_threads,
                               int granularity);
 
+// Parallel flavor of WarmQueryIndexes (core/atom_index.h): builds the
+// GAO-consistent index of every atom of `q` in its catalog, one JobPool
+// job per *distinct* (relation, permutation) pair, so a cold partitioned
+// run constructs independent indexes concurrently instead of serially.
+// Per-atom build/hit accounting is identical to the serial warm pass.
+// No-op without a catalog.
+EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads);
+
 }  // namespace wcoj
 
 #endif  // WCOJ_PARALLEL_PARTITIONED_RUN_H_

@@ -35,9 +35,15 @@ void SortRows(int arity, std::vector<Value>* data) {
 
 Relation Relation::FromTuples(int arity, const std::vector<Tuple>& tuples) {
   Relation r(arity);
+  r.Reserve(tuples.size());
   for (const auto& t : tuples) r.Add(t);
   r.Build();
   return r;
+}
+
+void Relation::Reserve(size_t num_tuples) {
+  assert(!built_);
+  data_.reserve(data_.size() + num_tuples * arity_);
 }
 
 void Relation::Add(const Tuple& t) {
@@ -86,6 +92,7 @@ bool Relation::Contains(const Tuple& t) const {
 Relation Relation::Permuted(const std::vector<int>& perm) const {
   assert(built_ && static_cast<int>(perm.size()) == arity_);
   Relation out(arity_);
+  out.Reserve(size());
   Tuple tmp(arity_);
   for (size_t i = 0; i < size(); ++i) {
     const Value* row = Row(i);

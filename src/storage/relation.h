@@ -22,6 +22,10 @@ class Relation {
 
   static Relation FromTuples(int arity, const std::vector<Tuple>& tuples);
 
+  // Pre-sizes the staging buffer for `num_tuples` upcoming Add calls so
+  // large loads don't pay reallocation churn; only valid before Build().
+  void Reserve(size_t num_tuples);
+
   // Appends a tuple; only valid before Build().
   void Add(const Tuple& t);
   void Add(std::initializer_list<Value> t);

@@ -2,27 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace wcoj {
 
 namespace {
 
-// Galloping lower bound for `v` in rows [lo, hi) of column `col`.
-size_t Gallop(const Relation& rel, size_t lo, size_t hi, int col, Value v,
-              bool upper) {
-  // Exponential probe from lo to bracket the answer, then binary search.
-  auto before = [&](size_t row) {
-    const Value x = rel.At(row, col);
-    return upper ? x <= v : x < v;
+// Galloping search over a contiguous key array: least index in [lo, hi)
+// whose key is >= v (upper=false) resp. > v (upper=true). Exponential
+// probe from lo to bracket the answer, then binary search the bracket.
+size_t GallopKeys(const Value* keys, size_t lo, size_t hi, Value v,
+                  bool upper) {
+  auto before = [&](size_t i) {
+    return upper ? keys[i] <= v : keys[i] < v;
   };
   size_t step = 1;
-  size_t b = lo;
+  size_t a = lo, b = lo;
   while (b < hi && before(b)) {
+    a = b + 1;
     b = lo + step;
     step <<= 1;
   }
   b = std::min(b, hi);
-  size_t a = lo;
   while (a < b) {
     const size_t mid = a + (b - a) / 2;
     if (before(mid)) {
@@ -37,61 +38,119 @@ size_t Gallop(const Relation& rel, size_t lo, size_t hi, int col, Value v,
 }  // namespace
 
 TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm)
-    : data_(rel.arity()), perm_(std::move(perm)) {
+    : perm_(std::move(perm)) {
   assert(rel.built());
+  const int arity = rel.arity();
   if (perm_.empty()) {
-    perm_.resize(rel.arity());
-    for (int i = 0; i < rel.arity(); ++i) perm_[i] = i;
-    data_ = rel;
-  } else {
-    data_ = rel.Permuted(perm_);
+    perm_.resize(arity);
+    for (int i = 0; i < arity; ++i) perm_[i] = i;
   }
+  assert(static_cast<int>(perm_.size()) == arity);
+  levels_.resize(arity);
+  const size_t n = rel.size();
+  assert(n < std::numeric_limits<Offset>::max());
+
+  bool identity = true;
+  for (int i = 0; i < arity; ++i) identity &= perm_[i] == i;
+
+  // Row visit order under the permutation. The relation's own sort is
+  // already the identity order; otherwise sort row indices — the rows
+  // themselves are never copied.
+  std::vector<Offset> order;
+  if (!identity) {
+    order.resize(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<Offset>(i);
+    std::sort(order.begin(), order.end(), [&](Offset a, Offset b) {
+      for (int d = 0; d < arity; ++d) {
+        const Value va = rel.At(a, perm_[d]);
+        const Value vb = rel.At(b, perm_[d]);
+        if (va != vb) return va < vb;
+      }
+      return false;
+    });
+  }
+
+  // Single pass over the sorted rows: the first depth whose value
+  // differs from the previous row's opens a fresh node there and at
+  // every deeper depth. Appending a node at depth d records its
+  // child-range start — the next level's size at that moment.
+  levels_[arity - 1].keys.reserve(n);
+  Tuple cur(arity), prev(arity);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = identity ? i : order[i];
+    for (int d = 0; d < arity; ++d) cur[d] = rel.At(row, perm_[d]);
+    int d = 0;
+    if (i > 0) {
+      while (d < arity && cur[d] == prev[d]) ++d;
+      // The source relation is duplicate-free and perm_ is a full
+      // permutation, so consecutive rows always differ somewhere.
+      assert(d < arity);
+    }
+    for (; d < arity; ++d) {
+      if (d + 1 < arity) {
+        levels_[d].child.push_back(
+            static_cast<Offset>(levels_[d + 1].keys.size()));
+      }
+      levels_[d].keys.push_back(cur[d]);
+    }
+    cur.swap(prev);
+  }
+  // Close every node's child range with the final sentinel offset.
+  for (int d = 0; d + 1 < arity; ++d) {
+    levels_[d].child.push_back(
+        static_cast<Offset>(levels_[d + 1].keys.size()));
+  }
+  rows_ = levels_[arity - 1].keys.size();
+  assert(rows_ == n);
 }
 
 void TrieIndex::EnsureColStats() const {
   std::call_once(col_stats_once_, [this] {
     col_min_.assign(arity(), kPosInf);
     col_max_.assign(arity(), kNegInf);
-    if (data_.size() == 0) return;
-    // Column 0 is the sort's major key; the rest need a scan.
-    col_min_[0] = data_.At(0, 0);
-    col_max_[0] = data_.At(data_.size() - 1, 0);
+    if (rows_ == 0) return;
+    // Level 0 is globally sorted; deeper levels scan their (distinct,
+    // contiguous) key array, never the full row set.
+    col_min_[0] = levels_[0].keys.front();
+    col_max_[0] = levels_[0].keys.back();
     for (int c = 1; c < arity(); ++c) {
-      for (size_t r = 0; r < data_.size(); ++r) {
-        col_min_[c] = std::min(col_min_[c], data_.At(r, c));
-        col_max_[c] = std::max(col_max_[c], data_.At(r, c));
+      for (const Value v : levels_[c].keys) {
+        col_min_[c] = std::min(col_min_[c], v);
+        col_max_[c] = std::max(col_max_[c], v);
       }
     }
   });
 }
 
-size_t TrieIndex::LowerBound(size_t lo, size_t hi, int col, Value v) const {
-  return Gallop(data_, lo, hi, col, v, /*upper=*/false);
+size_t TrieIndex::LowerBound(int depth, size_t lo, size_t hi, Value v) const {
+  return GallopKeys(levels_[depth].keys.data(), lo, hi, v, /*upper=*/false);
 }
 
-size_t TrieIndex::UpperBound(size_t lo, size_t hi, int col, Value v) const {
-  return Gallop(data_, lo, hi, col, v, /*upper=*/true);
+size_t TrieIndex::UpperBound(int depth, size_t lo, size_t hi, Value v) const {
+  return GallopKeys(levels_[depth].keys.data(), lo, hi, v, /*upper=*/true);
 }
 
 TrieIndex::GapProbe TrieIndex::SeekGap(const Tuple& t,
                                        uint64_t* seek_counter) const {
   assert(static_cast<int>(t.size()) == arity());
   GapProbe probe;
-  size_t lo = 0, hi = data_.size();
+  size_t lo = 0, hi = LevelSize(0);
   for (int d = 0; d < arity(); ++d) {
     if (seek_counter != nullptr) ++*seek_counter;
-    const size_t run_lo = LowerBound(lo, hi, d, t[d]);
-    const size_t run_hi = UpperBound(run_lo, hi, d, t[d]);
-    if (run_lo == run_hi) {
+    const Value* keys = levels_[d].keys.data();
+    const size_t p = GallopKeys(keys, lo, hi, t[d], /*upper=*/false);
+    if (p == hi || keys[p] != t[d]) {
       // t[d] absent under this prefix: the gap is (glb, lub) at depth d.
       probe.found = false;
       probe.fail_pos = d;
-      probe.glb = run_lo > lo ? data_.At(run_lo - 1, d) : kNegInf;
-      probe.lub = run_lo < hi ? data_.At(run_lo, d) : kPosInf;
+      probe.glb = p > lo ? keys[p - 1] : kNegInf;
+      probe.lub = p < hi ? keys[p] : kPosInf;
       return probe;
     }
-    lo = run_lo;
-    hi = run_hi;
+    if (d + 1 < arity()) {
+      lo = ChildBegin(d, p);
+      hi = ChildEnd(d, p);
+    }
   }
   probe.found = true;
   probe.fail_pos = arity();
@@ -111,35 +170,24 @@ bool TrieIterator::AtEnd() const {
 
 Value TrieIterator::Key() const {
   assert(depth_ >= 0 && !AtEnd());
-  return index_->data().At(levels_[depth_].pos, depth_);
-}
-
-void TrieIterator::FixRun(Level* lv) {
-  if (lv->pos >= lv->group_hi) {
-    lv->run_hi = lv->group_hi;
-    return;
-  }
-  const Value v = index_->data().At(lv->pos, depth_);
-  lv->run_hi = index_->UpperBound(lv->pos, lv->group_hi, depth_, v);
+  return index_->KeyAt(depth_, levels_[depth_].pos);
 }
 
 void TrieIterator::Open() {
   size_t lo, hi;
   if (depth_ < 0) {
     lo = 0;
-    hi = index_->size();
+    hi = index_->LevelSize(0);
   } else {
     assert(!AtEnd());
-    lo = levels_[depth_].pos;
-    hi = levels_[depth_].run_hi;
+    lo = index_->ChildBegin(depth_, levels_[depth_].pos);
+    hi = index_->ChildEnd(depth_, levels_[depth_].pos);
   }
   ++depth_;
   if (static_cast<size_t>(depth_) >= levels_.size()) levels_.emplace_back();
   Level& lv = levels_[depth_];
-  lv.group_lo = lo;
   lv.group_hi = hi;
   lv.pos = lo;
-  FixRun(&lv);
 }
 
 void TrieIterator::Up() {
@@ -149,17 +197,14 @@ void TrieIterator::Up() {
 
 void TrieIterator::Next() {
   assert(!AtEnd());
-  Level& lv = levels_[depth_];
-  lv.pos = lv.run_hi;
-  FixRun(&lv);
+  ++levels_[depth_].pos;  // keys at a level are distinct under one parent
 }
 
 void TrieIterator::Seek(Value v) {
   assert(depth_ >= 0);
   Level& lv = levels_[depth_];
   ++seeks_;
-  lv.pos = index_->LowerBound(lv.pos, lv.group_hi, depth_, v);
-  FixRun(&lv);
+  lv.pos = index_->LowerBound(depth_, lv.pos, lv.group_hi, v);
 }
 
 }  // namespace wcoj

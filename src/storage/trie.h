@@ -1,12 +1,23 @@
 #ifndef WCOJ_STORAGE_TRIE_H_
 #define WCOJ_STORAGE_TRIE_H_
 
-// TrieIndex: a sorted-array trie over a Relation, standing in for the
-// LogicBlox B-tree/trie index.
+// TrieIndex: a level-wise CSR (columnar) trie over a Relation, standing
+// in for the LogicBlox B-tree/trie index.
 //
-// The index owns a copy of the relation's tuples reordered by a column
-// permutation (the attribute order the index is built in, cf. the paper's
-// GAO-consistency assumption). Two access paths are provided:
+// For each trie depth d the index stores one contiguous array of the
+// distinct keys at that depth (grouped by parent node, sorted within
+// each group) plus a parallel child-offset array into depth d+1 — the
+// classic CSR encoding. A node is (depth, index-into-that-level); its
+// children occupy [ChildBegin(d, i), ChildEnd(d, i)) at depth d+1.
+// Every hot operation therefore gallops over one contiguous Value
+// array per level instead of striding through row-major tuples, so a
+// seek touches full cache lines of keys and hardware prefetch engages.
+//
+// The layout is built in a single pass over the (permutation-sorted)
+// rows of the source relation — no intermediate permuted Relation copy
+// is materialized, roughly halving peak build memory.
+//
+// Two access paths are provided:
 //
 //  * TrieIterator — the open/up/next/seek interface Leapfrog Triejoin is
 //    written against (Veldhuizen '14, section 3).
@@ -28,18 +39,45 @@ namespace wcoj {
 
 class TrieIndex {
  public:
-  // `perm[i]` = column of `rel` exposed at trie depth i. Identity if empty.
+  // `perm[i]` = column of `rel` exposed at trie depth i. Identity if
+  // empty; otherwise must be a full permutation of rel's columns.
   TrieIndex(const Relation& rel, std::vector<int> perm = {});
 
-  int arity() const { return data_.arity(); }
-  size_t size() const { return data_.size(); }
-  const Relation& data() const { return data_; }
+  int arity() const { return static_cast<int>(levels_.size()); }
+  size_t size() const { return rows_; }  // leaf count == row count
   const std::vector<int>& perm() const { return perm_; }
 
+  // --- CSR level accessors ---
+
+  // Number of trie nodes at `depth` (== distinct prefixes of length
+  // depth+1). The deepest level has size() nodes.
+  size_t LevelSize(int depth) const { return levels_[depth].keys.size(); }
+  Value KeyAt(int depth, size_t node) const {
+    return levels_[depth].keys[node];
+  }
+  const Value* LevelKeys(int depth) const {
+    return levels_[depth].keys.data();
+  }
+  // Children of node (depth, node) at depth+1; requires depth < arity-1.
+  size_t ChildBegin(int depth, size_t node) const {
+    return levels_[depth].child[node];
+  }
+  size_t ChildEnd(int depth, size_t node) const {
+    return levels_[depth].child[node + 1];
+  }
+
+  // Least node index in [lo, hi) at `depth` whose key is >= v
+  // (LowerBound) resp. > v (UpperBound), galloping from lo. Used by the
+  // iterator and the baseline probe path; exposed for tests.
+  size_t LowerBound(int depth, size_t lo, size_t hi, Value v) const;
+  size_t UpperBound(int depth, size_t lo, size_t hi, Value v) const;
+
   // Min/max value of trie column `col` (a real system reads these from
-  // index metadata). Computed lazily on first use — thread-safe, and
-  // cold builds that never read them skip the scan — then cached for
-  // the index's lifetime. kPosInf/kNegInf when empty.
+  // index metadata). Level 0 is an O(1) read of the key array's ends;
+  // deeper levels are one contiguous scan over that level's distinct
+  // keys. Computed lazily on first use — thread-safe, and cold builds
+  // that never read them skip the scan — then cached for the index's
+  // lifetime. kPosInf/kNegInf when empty.
   Value ColMin(int col) const {
     EnsureColStats();
     return col_min_[col];
@@ -49,11 +87,6 @@ class TrieIndex {
     return col_max_[col];
   }
 
-  // Rows in [lo, hi) whose column `col` equals the value at row `lo`...
-  // Internal helpers used by the iterator; exposed for tests.
-  size_t LowerBound(size_t lo, size_t hi, int col, Value v) const;
-  size_t UpperBound(size_t lo, size_t hi, int col, Value v) const;
-
   struct GapProbe {
     bool found = false;  // the whole tuple is present
     int fail_pos = 0;    // first trie depth where the prefix left the index
@@ -62,13 +95,25 @@ class TrieIndex {
   };
 
   // Probes a full tuple over this index's columns (already in trie order).
-  // Counts seeks into *seek_counter when provided.
+  // One gallop per level over that level's contiguous key array. Counts
+  // seeks into *seek_counter when provided.
   GapProbe SeekGap(const Tuple& t, uint64_t* seek_counter = nullptr) const;
 
  private:
+  // Child offsets are 32-bit: a level never holds more nodes than the
+  // relation has rows, and 4-byte offsets keep the CSR arrays dense.
+  using Offset = uint32_t;
+
+  struct Level {
+    std::vector<Value> keys;     // distinct keys, grouped by parent
+    std::vector<Offset> child;   // keys.size()+1 offsets into the next
+                                 // level; empty at the deepest level
+  };
+
   void EnsureColStats() const;
 
-  Relation data_;  // tuples in trie order
+  std::vector<Level> levels_;  // levels_[d] = trie depth d
+  size_t rows_ = 0;
   std::vector<int> perm_;
   // Per-trie-column metadata; lazily filled under col_stats_once_.
   mutable std::once_flag col_stats_once_;
@@ -76,7 +121,9 @@ class TrieIndex {
 };
 
 // Cursor over a TrieIndex. Depth -1 is the virtual root; Open() descends,
-// Up() ascends, Next()/Seek() move within the current level's key run.
+// Up() ascends, Next()/Seek() move within the current level's key group.
+// Keys within a group are distinct in the CSR layout, so Next() is a
+// plain increment and Key() a contiguous array read.
 class TrieIterator {
  public:
   explicit TrieIterator(const TrieIndex* index);
@@ -94,12 +141,9 @@ class TrieIterator {
 
  private:
   struct Level {
-    size_t group_lo, group_hi;  // rows matching keys of shallower depths
-    size_t pos;                 // first row of the current key run
-    size_t run_hi;              // one past the current key run
+    size_t group_hi;  // one past the node range under the parent node
+    size_t pos;       // current node at this depth
   };
-
-  void FixRun(Level* lv);
 
   const TrieIndex* index_;
   int depth_;

@@ -156,6 +156,39 @@ TEST(PartitionedRunTest, CatalogBuildsOncePerDistinctIndexAcrossPartitions) {
   }
 }
 
+// The parallel pre-warm must behave exactly like the serial one: one
+// catalog build per distinct (relation, permutation) pair, per-atom
+// build/hit accounting, and idempotence on a warm catalog.
+TEST(PartitionedRunTest, ParallelPrewarmBuildsOncePerDistinctIndex) {
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 3.0, 4);
+  rels.v2 = SampleNodes(g, 3.0, 5);
+  // 3-path: v1, v2, and edge three times under one permutation = 3
+  // distinct indexes across 5 atoms.
+  Query q = MustParseQuery("v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d"});
+  for (int threads : {1, 4}) {
+    IndexCatalog catalog;
+    bq.catalog = &catalog;
+    const EngineStats cold = WarmQueryIndexesParallel(bq, threads);
+    EXPECT_EQ(cold.index_builds, 3u) << "threads=" << threads;
+    EXPECT_EQ(cold.index_cache_hits, 2u) << "threads=" << threads;
+    EXPECT_EQ(catalog.builds(), 3u) << "threads=" << threads;
+    EXPECT_EQ(catalog.size(), 3u) << "threads=" << threads;
+    // Re-warming a resident catalog builds nothing: 5 atom hits.
+    const EngineStats warm = WarmQueryIndexesParallel(bq, threads);
+    EXPECT_EQ(warm.index_builds, 0u) << "threads=" << threads;
+    EXPECT_EQ(warm.index_cache_hits, 5u) << "threads=" << threads;
+    EXPECT_EQ(catalog.builds(), 3u) << "threads=" << threads;
+  }
+  // Without a catalog the pre-warm is a no-op.
+  bq.catalog = nullptr;
+  const EngineStats none = WarmQueryIndexesParallel(bq, 4);
+  EXPECT_EQ(none.index_builds, 0u);
+  EXPECT_EQ(none.index_cache_hits, 0u);
+}
+
 TEST(PartitionedRunTest, CollectedTuplesAreCompleteAndSorted) {
   Graph g = ErdosRenyi(30, 90, 8);
   GraphRelations rels = MakeGraphRelations(g);

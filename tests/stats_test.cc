@@ -190,5 +190,56 @@ TEST(StatsTest, CatalogPathMatchesLegacyForEveryEngine) {
   }
 }
 
+TEST(StatsTest, IndexCounterAccountingIsLayoutInvariant) {
+  // Catalog behavior must be invariant under the index's internal
+  // layout: for every registered engine, repeated cold runs report
+  // identical output counts and identical index_builds /
+  // index_cache_hits (the counters are a function of the query plan,
+  // not of how an index stores its keys), and a warm run resolves
+  // every index from cache.
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 3.0, 4);
+  rels.v2 = SampleNodes(g, 3.0, 5);
+  const std::pair<const char*, std::vector<std::string>> queries[] = {
+      {"edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"}},
+      {"v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)",
+       {"a", "b", "c", "d"}},
+  };
+  for (const auto& [text, gao] : queries) {
+    BoundQuery legacy_q = Bind(MustParseQuery(text), rels.Map(), gao);
+    for (const std::string& name : EngineNames()) {
+      auto engine = CreateEngine(name);
+      const ExecResult legacy = engine->Execute(legacy_q, ExecOptions{});
+      IndexCatalog catalog_a, catalog_b;
+      BoundQuery qa = legacy_q, qb = legacy_q;
+      qa.catalog = &catalog_a;
+      qb.catalog = &catalog_b;
+      const ExecResult cold_a = engine->Execute(qa, ExecOptions{});
+      const ExecResult cold_b = engine->Execute(qb, ExecOptions{});
+      EXPECT_EQ(cold_a.count, legacy.count) << name << " " << text;
+      EXPECT_EQ(cold_b.count, legacy.count) << name << " " << text;
+      EXPECT_EQ(cold_a.stats.index_builds, cold_b.stats.index_builds)
+          << name << " " << text;
+      EXPECT_EQ(cold_a.stats.index_cache_hits, cold_b.stats.index_cache_hits)
+          << name << " " << text;
+      // The legacy path never consults a catalog, so it can only build.
+      EXPECT_EQ(legacy.stats.index_cache_hits, 0u) << name << " " << text;
+      // Warm rerun on catalog_a: every resolution is a cache hit. (The
+      // hybrid is excluded: it builds a transient singleton index per
+      // junction value by design, so its warm runs report builds.)
+      const ExecResult warm = engine->Execute(qa, ExecOptions{});
+      EXPECT_EQ(warm.count, legacy.count) << name << " " << text;
+      if (engine->catalog_warmup() != CatalogWarmup::kNone &&
+          name != "hybrid") {
+        EXPECT_EQ(warm.stats.index_builds, 0u) << name << " " << text;
+        EXPECT_EQ(warm.stats.index_cache_hits,
+                  cold_a.stats.index_builds + cold_a.stats.index_cache_hits)
+            << name << " " << text;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wcoj

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "storage/catalog.h"
@@ -238,6 +239,150 @@ TEST_P(TrieRandomTest, SeekGapNeverContainsDataPoints) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrieRandomTest, ::testing::Range(0, 8));
+
+// --- CSR-layout cross-check against a naive row-major reference ---
+//
+// The reference works directly on the sorted permuted Relation with
+// plain row-range scans (the pre-CSR behavior); the CSR TrieIterator
+// and SeekGap must agree with it on every relation, including empty
+// ones, arity 1, duplicates-heavy and sparse key distributions.
+
+TrieIndex::GapProbe NaiveSeekGap(const Relation& sorted, const Tuple& t) {
+  TrieIndex::GapProbe probe;
+  size_t lo = 0, hi = sorted.size();
+  for (int d = 0; d < sorted.arity(); ++d) {
+    size_t rlo = lo;
+    while (rlo < hi && sorted.At(rlo, d) < t[d]) ++rlo;
+    size_t rhi = rlo;
+    while (rhi < hi && sorted.At(rhi, d) == t[d]) ++rhi;
+    if (rlo == rhi) {
+      probe.found = false;
+      probe.fail_pos = d;
+      probe.glb = rlo > lo ? sorted.At(rlo - 1, d) : kNegInf;
+      probe.lub = rlo < hi ? sorted.At(rlo, d) : kPosInf;
+      return probe;
+    }
+    lo = rlo;
+    hi = rhi;
+  }
+  probe.found = true;
+  probe.fail_pos = sorted.arity();
+  return probe;
+}
+
+// Depth-first walk over the full trie via the iterator contract only.
+void EnumerateTrie(TrieIterator* it, int arity, Tuple* prefix,
+                   std::vector<Tuple>* out) {
+  it->Open();
+  while (!it->AtEnd()) {
+    prefix->push_back(it->Key());
+    if (static_cast<int>(prefix->size()) == arity) {
+      out->push_back(*prefix);
+    } else {
+      EnumerateTrie(it, arity, prefix, out);
+    }
+    prefix->pop_back();
+    it->Next();
+  }
+  it->Up();
+}
+
+TEST(TrieCsrPropertyTest, MatchesNaiveReferenceOnRandomRelations) {
+  for (int trial = 0; trial < 100; ++trial) {
+    Rng rng(1000 + trial);
+    const int arity = 1 + trial % 4;
+    // Alternate duplicates-heavy (tiny domain => long shared-prefix
+    // runs) and sparse (wide domain => mostly singleton nodes), with a
+    // few empty relations mixed in.
+    const Value domain = trial % 2 == 0 ? 4 : 1000;
+    const int n = trial % 10 == 9 ? 0 : 1 + static_cast<int>(
+                                             rng.NextBounded(120));
+    Relation base(arity);
+    for (int i = 0; i < n; ++i) {
+      Tuple t(arity);
+      for (int c = 0; c < arity; ++c) {
+        t[c] = static_cast<Value>(rng.NextBounded(domain));
+      }
+      base.Add(t);
+    }
+    base.Build();
+    // Random column permutation; the reference is the permuted copy.
+    std::vector<int> perm(arity);
+    for (int i = 0; i < arity; ++i) perm[i] = i;
+    for (int i = arity - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.NextBounded(i + 1)]);
+    }
+    const Relation sorted = base.Permuted(perm);
+    TrieIndex index(base, perm);
+    ASSERT_EQ(index.size(), sorted.size()) << "trial " << trial;
+
+    // (1) A full iterator walk reproduces the sorted relation exactly.
+    std::vector<Tuple> walked;
+    Tuple prefix;
+    TrieIterator it(&index);
+    EnumerateTrie(&it, arity, &prefix, &walked);
+    ASSERT_EQ(walked.size(), sorted.size()) << "trial " << trial;
+    for (size_t r = 0; r < sorted.size(); ++r) {
+      EXPECT_EQ(walked[r], sorted.RowTuple(r)) << "trial " << trial;
+    }
+
+    // (2) SeekGap agrees with the naive row-scan reference on random
+    // probes (mix of present rows and arbitrary tuples).
+    for (int probe_i = 0; probe_i < 50; ++probe_i) {
+      Tuple t(arity);
+      if (sorted.size() > 0 && probe_i % 3 == 0) {
+        t = sorted.RowTuple(rng.NextBounded(sorted.size()));
+        if (probe_i % 6 == 0) {
+          t[rng.NextBounded(arity)] += 1;  // perturb near real data
+        }
+      } else {
+        for (int c = 0; c < arity; ++c) {
+          t[c] = static_cast<Value>(rng.NextBounded(domain + 2)) - 1;
+        }
+      }
+      const auto expect = NaiveSeekGap(sorted, t);
+      const auto got = index.SeekGap(t);
+      EXPECT_EQ(got.found, expect.found) << "trial " << trial;
+      EXPECT_EQ(got.fail_pos, expect.fail_pos) << "trial " << trial;
+      EXPECT_EQ(got.glb, expect.glb) << "trial " << trial;
+      EXPECT_EQ(got.lub, expect.lub) << "trial " << trial;
+    }
+
+    // (3) Seek at a random depth matches a linear scan over the rows
+    // sharing the prefix of a randomly chosen existing row.
+    for (int probe_i = 0; probe_i < 20 && sorted.size() > 0; ++probe_i) {
+      const size_t row = rng.NextBounded(sorted.size());
+      const int depth = static_cast<int>(rng.NextBounded(arity));
+      const Value v = static_cast<Value>(rng.NextBounded(domain + 2)) - 1;
+      TrieIterator seek_it(&index);
+      seek_it.Open();
+      for (int d = 0; d < depth; ++d) {
+        seek_it.Seek(sorted.At(row, d));
+        ASSERT_FALSE(seek_it.AtEnd());
+        ASSERT_EQ(seek_it.Key(), sorted.At(row, d));
+        seek_it.Open();
+      }
+      seek_it.Seek(v);
+      // Reference: the prefix group's rows, scanned linearly.
+      Value expected = kPosInf;
+      for (size_t r = 0; r < sorted.size(); ++r) {
+        bool same_group = true;
+        for (int d = 0; d < depth; ++d) {
+          same_group &= sorted.At(r, d) == sorted.At(row, d);
+        }
+        if (same_group && sorted.At(r, depth) >= v) {
+          expected = std::min(expected, sorted.At(r, depth));
+        }
+      }
+      if (expected == kPosInf) {
+        EXPECT_TRUE(seek_it.AtEnd()) << "trial " << trial;
+      } else {
+        ASSERT_FALSE(seek_it.AtEnd()) << "trial " << trial;
+        EXPECT_EQ(seek_it.Key(), expected) << "trial " << trial;
+      }
+    }
+  }
+}
 
 TEST(TrieIndexTest, ColumnMinMaxMetadata) {
   Relation r = Relation::FromTuples(2, {{3, 9}, {5, 1}, {8, 4}});

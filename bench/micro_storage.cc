@@ -3,11 +3,14 @@
 // unary leapfrog intersection, CDS interval inserts, and the shared
 // IndexCatalog. These are the constants behind every table in the paper.
 //
-// After the registered benchmarks run, main() writes two
+// After the registered benchmarks run, main() writes three
 // machine-readable reports: BENCH_trie_layout.json (CSR layout vs the
 // pre-change row-major layout on deep skewed tries; see
-// EmitTrieLayoutReport) and BENCH_index_catalog.json (cold-build vs
-// warm-catalog end-to-end query timings; see EmitCatalogReport).
+// EmitTrieLayoutReport), BENCH_index_catalog.json (cold-build vs
+// warm-catalog end-to-end query timings; see EmitCatalogReport), and
+// BENCH_cds_arena.json (arena-backed CDS vs the pre-change pointer
+// implementation on insert/merge and ComputeFreeTuple-heavy workloads;
+// see EmitCdsArenaReport).
 
 #include <benchmark/benchmark.h>
 
@@ -17,12 +20,14 @@
 #include <vector>
 
 #include "core/cds.h"
+#include "core/cds_arena.h"
 #include "core/engine.h"
 #include "core/leapfrog.h"
 #include "graph/generators.h"
 #include "query/parser.h"
 #include "storage/catalog.h"
 #include "storage/trie.h"
+#include "tests/cds_reference.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -94,17 +99,71 @@ BENCHMARK(BM_LeapfrogIntersect)->Arg(1 << 10)->Arg(1 << 14);
 
 void BM_CdsInsertAndNext(benchmark::State& state) {
   Rng rng(8);
+  CdsArena arena;
   for (auto _ : state) {
-    CdsNode node(nullptr, kWildcard, 1);
+    arena.Reset();  // warm-arena steady state: the regime engines run in
+    CdsNode* node = arena.node(arena.AllocNode(kCdsNull, kWildcard, 1));
     for (int i = 0; i < state.range(0); ++i) {
       const Value l = static_cast<Value>(rng.NextBounded(1 << 20));
-      node.InsertInterval(l, l + 1 + static_cast<Value>(rng.NextBounded(64)));
+      node->InsertInterval(&arena, l,
+                           l + 1 + static_cast<Value>(rng.NextBounded(64)));
     }
-    benchmark::DoNotOptimize(node.Next(1 << 19));
+    benchmark::DoNotOptimize(node->Next(1 << 19));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CdsInsertAndNext)->Arg(256)->Arg(4096);
+
+// Full Cds on deep skewed constraint streams: the pattern walk creates
+// and merges child branches, so inserts exercise node allocation,
+// subtree deletion, and pointList growth together.
+void BM_CdsConstraintStream(benchmark::State& state) {
+  const int num_vars = 4;
+  CdsArena arena;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(17);
+    state.ResumeTiming();
+    Cds cds(num_vars, Cds::Options{}, &arena);
+    for (int i = 0; i < state.range(0); ++i) {
+      Constraint c;
+      const int depth = static_cast<int>(rng.NextBounded(num_vars));
+      c.pattern.assign(depth, kWildcard);
+      for (int d = 0; d < depth; ++d) {
+        if (rng.NextBounded(2) == 0) {
+          c.pattern[d] = static_cast<Value>(
+              rng.NextBounded(rng.NextBounded(64) + 1));  // skewed
+        }
+      }
+      const Value l = static_cast<Value>(rng.NextBounded(1 << 12));
+      c.lo = l;
+      c.hi = l + 1 + static_cast<Value>(rng.NextBounded(256));
+      cds.InsertConstraint(c);
+    }
+    benchmark::DoNotOptimize(cds.constraints_inserted());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CdsConstraintStream)->Arg(1024)->Arg(8192);
+
+// The engine-shaped insert / ComputeFreeTuple / drain loop (the shared
+// DriveCdsWorkload harness) on a warm arena + warm Cds shell.
+void BM_CdsComputeFreeTuple(benchmark::State& state) {
+  const bool chain = state.range(0) != 0;
+  CdsArena arena;
+  Cds cds(4, Cds::Options{}, &arena);
+  uint64_t free_tuples = 0;
+  for (auto _ : state) {
+    cds.Reset();
+    const CdsWorkloadResult r =
+        DriveCdsWorkload(&cds, 4, 29, /*max_free_tuples=*/512, chain, 64,
+                         /*collect_frontiers=*/false);
+    free_tuples += r.num_frontiers;
+    benchmark::DoNotOptimize(r.inserted);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(free_tuples));
+}
+BENCHMARK(BM_CdsComputeFreeTuple)->Arg(0)->Arg(1);
 
 void BM_CatalogGetOrBuildHit(benchmark::State& state) {
   Graph g = ErdosRenyi(state.range(0), state.range(0) * 8, 3);
@@ -660,6 +719,172 @@ void EmitCatalogReport(const char* path) {
   std::printf("wrote %s\n", path);
 }
 
+// --- Arena vs pointer CDS (BENCH_cds_arena.json) ---
+
+struct CdsArenaCell {
+  std::string workload;
+  int num_vars = 0;
+  uint64_t items = 0;  // inserts or free tuples, identical across impls
+  const char* items_name = "inserts";
+  double arena_seconds = 0.0, pointer_seconds = 0.0;
+};
+
+// Times the arena-backed Cds against the pre-refactor pointer
+// implementation (tests/cds_reference.h) on identical deterministic
+// workloads:
+//  - insert_merge: deep skewed constraint streams (pattern walks create
+//    and merge branches; merges delete subtrees);
+//  - cyclic_compute_free_tuple: the engine-shaped
+//    insert/ComputeFreeTuple/drain loop with incomparable equality
+//    patterns — the §4.8 poset regime cyclic queries produce, where
+//    exact-prefix specialization nodes churn hardest;
+//  - acyclic_compute_free_tuple: the same loop with nested (chain)
+//    patterns;
+//  - warm_repeat: whole cyclic runs repeated back to back — the arena
+//    impl reuses one warm arena (the ExecScratch regime), the pointer
+//    impl rebuilds from the heap each time, exactly like the
+//    pre-refactor engines did per partition job.
+void EmitCdsArenaReport(const char* path) {
+  constexpr int kReps = 5;
+  std::vector<CdsArenaCell> cells;
+
+  auto median_of = [&](auto&& run) {
+    std::vector<double> xs;
+    for (int rep = 0; rep < kReps; ++rep) xs.push_back(run());
+    return MedianSeconds(std::move(xs));
+  };
+
+  // Deep skewed constraint stream, shared by both implementations.
+  const int kStreamVars = 5;
+  const int kStreamLen = 1 << 14;
+  std::vector<Constraint> stream;
+  {
+    Rng rng(41);
+    stream.reserve(kStreamLen);
+    for (int i = 0; i < kStreamLen; ++i) {
+      Constraint c;
+      const int depth = static_cast<int>(rng.NextBounded(kStreamVars));
+      c.pattern.assign(depth, kWildcard);
+      for (int d = 0; d < depth; ++d) {
+        if (rng.NextBounded(2) == 0) {
+          c.pattern[d] = static_cast<Value>(
+              rng.NextBounded(rng.NextBounded(96) + 1));  // degree skew
+        }
+      }
+      const Value l = static_cast<Value>(rng.NextBounded(1 << 12));
+      c.lo = l;
+      c.hi = l + 1 + static_cast<Value>(rng.NextBounded(512));
+      stream.push_back(std::move(c));
+    }
+  }
+  {
+    CdsArenaCell cell{"insert_merge", kStreamVars,
+                      static_cast<uint64_t>(kStreamLen)};
+    CdsArena arena;
+    Cds warm_cds(kStreamVars, Cds::Options{}, &arena);
+    cell.arena_seconds = median_of([&] {
+      warm_cds.Reset();
+      Cds& cds = warm_cds;
+      Stopwatch w;
+      for (const Constraint& c : stream) cds.InsertConstraint(c);
+      const double s = w.ElapsedSeconds();
+      benchmark::DoNotOptimize(cds.constraints_inserted());
+      return s;
+    });
+    cell.pointer_seconds = median_of([&] {
+      cdsref::Cds cds(kStreamVars, cdsref::Cds::Options{});
+      Stopwatch w;
+      for (const Constraint& c : stream) cds.InsertConstraint(c);
+      const double s = w.ElapsedSeconds();
+      benchmark::DoNotOptimize(cds.constraints_inserted());
+      return s;
+    });
+    cells.push_back(cell);
+  }
+
+  // Engine-shaped ComputeFreeTuple workloads (DriveCdsWorkload), in the
+  // regime the arena was built for: a stream of partition-job-sized runs
+  // over one warm per-worker scratch (Cds shell + arena, Reset between
+  // jobs) against the pre-refactor behaviour of building and tearing
+  // down a fresh pointer tree per job. The cyclic (poset-regime) cell is
+  // the acceptance-bar cell.
+  const struct {
+    const char* name;
+    bool chain_only;
+    int num_vars;
+    int runs;
+    int free_tuples_per_run;
+    Value domain;
+  } loops[] = {
+      {"cyclic_compute_free_tuple", false, 7, 1024, 16, 48},
+      {"acyclic_compute_free_tuple", true, 7, 1024, 16, 48},
+      {"warm_repeat", false, 5, 16, 1024, 96},
+  };
+  for (const auto& spec : loops) {
+    CdsArenaCell cell{spec.name, spec.num_vars, 0};
+    cell.items_name = "free_tuples";
+    CdsArena arena;
+    Cds warm_cds(spec.num_vars, Cds::Options{}, &arena);
+    // Prime the scratch so the timed region is pure steady state.
+    DriveCdsWorkload(&warm_cds, spec.num_vars, 57, spec.free_tuples_per_run,
+                     spec.chain_only, spec.domain,
+                     /*collect_frontiers=*/false);
+    cell.arena_seconds = median_of([&] {
+      Stopwatch w;
+      uint64_t tuples = 0;
+      for (int run = 0; run < spec.runs; ++run) {
+        warm_cds.Reset();
+        tuples += DriveCdsWorkload(&warm_cds, spec.num_vars, 57 + (run & 7),
+                                   spec.free_tuples_per_run, spec.chain_only,
+                                   spec.domain, /*collect_frontiers=*/false)
+                      .num_frontiers;
+      }
+      const double s = w.ElapsedSeconds();
+      cell.items = tuples;
+      return s;
+    });
+    cell.pointer_seconds = median_of([&] {
+      Stopwatch w;
+      uint64_t tuples = 0;
+      for (int run = 0; run < spec.runs; ++run) {
+        cdsref::Cds cds(spec.num_vars, cdsref::Cds::Options{});
+        tuples += DriveCdsWorkload(&cds, spec.num_vars, 57 + (run & 7),
+                                   spec.free_tuples_per_run, spec.chain_only,
+                                   spec.domain, /*collect_frontiers=*/false)
+                      .num_frontiers;
+      }
+      const double s = w.ElapsedSeconds();
+      benchmark::DoNotOptimize(tuples);
+      return s;
+    });
+    cells.push_back(cell);
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"cds_arena\",\n");
+  std::fprintf(f, "  \"reps\": %d,\n  \"results\": [\n", kReps);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CdsArenaCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"num_vars\": %d, \"%s\": %llu, "
+        "\"arena_seconds\": %.6f, \"pointer_seconds\": %.6f, "
+        "\"speedup\": %.3f}%s\n",
+        c.workload.c_str(), c.num_vars, c.items_name,
+        static_cast<unsigned long long>(c.items), c.arena_seconds,
+        c.pointer_seconds,
+        c.arena_seconds > 0 ? c.pointer_seconds / c.arena_seconds : 0.0,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace wcoj
 
@@ -670,5 +895,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   wcoj::EmitTrieLayoutReport("BENCH_trie_layout.json");
   wcoj::EmitCatalogReport("BENCH_index_catalog.json");
+  wcoj::EmitCdsArenaReport("BENCH_cds_arena.json");
   return 0;
 }

@@ -1,8 +1,4 @@
 #include "core/cds.h"
-#ifdef WCOJ_DEBUG_DRAIN
-#include <cstdio>
-#include <string>
-#endif
 
 #include <algorithm>
 #include <bit>
@@ -18,170 +14,105 @@ constexpr Value kFrontierFloor = -1;
 
 }  // namespace
 
-size_t CdsNode::LowerBound(Value v) const {
-  size_t lo = 0, hi = entries_.size();
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (entries_[mid].v < v) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-Value CdsNode::Next(Value x) const {
-  const size_t i = LowerBound(x);
-  if (i < entries_.size() && entries_[i].v == x) return x;  // endpoints free
-  if (i > 0 && entries_[i - 1].left) {
-    // x lies strictly inside the interval (entries_[i-1].v, entries_[i].v).
-    assert(i < entries_.size() && entries_[i].right);
-    return entries_[i].v;
-  }
-  return x;
-}
-
-bool CdsNode::HasNoFreeValue() const {
-  return Next(kFrontierFloor) == kPosInf;
-}
-
-void CdsNode::InsertInterval(Value l, Value r) {
-  assert(l < r);
-  // Extend left: if l is strictly inside an interval, or coincides with a
-  // stored left endpoint, the merge starts at that interval's left end and
-  // must reach at least its right end.
-  {
-    const size_t i = LowerBound(l);
-    if (i < entries_.size() && entries_[i].v == l) {
-      if (entries_[i].left) {
-        assert(i + 1 < entries_.size() && entries_[i + 1].right);
-        r = std::max(r, entries_[i + 1].v);
-      }
-    } else if (i > 0 && entries_[i - 1].left) {
-      assert(i < entries_.size() && entries_[i].right);
-      l = entries_[i - 1].v;
-      r = std::max(r, entries_[i].v);
-    }
-  }
-  // Extend right: if r is strictly inside an interval, absorb it. Touching
-  // at an endpoint does not merge (open intervals leave endpoints free).
-  {
-    const size_t j = LowerBound(r);
-    if (!(j < entries_.size() && entries_[j].v == r) && j > 0 &&
-        entries_[j - 1].left) {
-      assert(j < entries_.size() && entries_[j].right);
-      r = entries_[j].v;
-    }
-  }
-  // Delete entries strictly inside (l, r); subsumed child branches die.
-  {
-    size_t b = LowerBound(l);
-    if (b < entries_.size() && entries_[b].v == l) ++b;
-    const size_t e = LowerBound(r);
-    for (size_t k = b; k < e; ++k) {
-      if (entries_[k].left) --left_count_;
-    }
-    entries_.erase(entries_.begin() + b, entries_.begin() + e);
-  }
-  // Materialize the endpoints with their flags.
-  auto ensure = [&](Value v) -> Entry& {
-    const size_t i = LowerBound(v);
-    if (i < entries_.size() && entries_[i].v == v) return entries_[i];
-    return *entries_.insert(entries_.begin() + i, Entry{v, false, false, {}});
-  };
-  ensure(r).right = true;
-  Entry& le = ensure(l);
-  if (!le.left) {
-    le.left = true;
-    ++left_count_;
-  }
-}
-
-CdsNode* CdsNode::Child(Value v) const {
-  const size_t i = LowerBound(v);
-  if (i < entries_.size() && entries_[i].v == v) return entries_[i].child.get();
-  return nullptr;
-}
-
-CdsNode* CdsNode::EnsureChild(Value v, uint64_t* id_counter) {
-  const size_t i = LowerBound(v);
-  if (i < entries_.size() && entries_[i].v == v) {
-    if (entries_[i].child == nullptr) {
-      entries_[i].child = std::make_unique<CdsNode>(this, v, ++*id_counter);
-    }
-    return entries_[i].child.get();
-  }
-  if (i > 0 && entries_[i - 1].left) return nullptr;  // v is covered
-  auto it = entries_.insert(entries_.begin() + i, Entry{v, false, false, {}});
-  it->child = std::make_unique<CdsNode>(this, v, ++*id_counter);
-  return it->child.get();
-}
-
-CdsNode* CdsNode::EnsureWildcardChild(uint64_t* id_counter) {
-  if (wildcard_child_ == nullptr) {
-    wildcard_child_ = std::make_unique<CdsNode>(this, kWildcard, ++*id_counter);
-  }
-  return wildcard_child_.get();
-}
-
-Value CdsNode::FirstEntryGe(Value x) const {
-  const size_t i = LowerBound(x);
-  return i < entries_.size() ? entries_[i].v : kPosInf;
-}
-
-uint64_t CdsNode::CountEntriesGe(Value x) const {
-  size_t i = LowerBound(x);
-  uint64_t n = entries_.size() - i;
-  // Only the tail can hold the +inf sentinel.
-  if (n > 0 && entries_.back().v == kPosInf) --n;
-  return n;
-}
-
-Cds::Cds(int num_vars, const Options& options)
-    : num_vars_(num_vars), options_(options) {
+Cds::Cds(int num_vars, const Options& options, CdsArena* arena)
+    : num_vars_(num_vars), options_(options), arena_(arena) {
   assert(num_vars >= 1 && num_vars < 63);
-  root_ = std::make_unique<CdsNode>(nullptr, kWildcard, ++id_counter_);
+  if (arena_ == nullptr) {
+    owned_arena_ = std::make_unique<CdsArena>();
+    arena_ = owned_arena_.get();
+  }
+  Reset();
+}
+
+void Cds::Reset() {
+  arena_->Reset();
+  id_counter_ = 0;
+  root_ = arena_->AllocNode(kCdsNull, kWildcard, ++id_counter_);
   frontier_.assign(num_vars_, kFrontierFloor);
-  rotations_.resize(num_vars_);
+  depth_ = 0;
+  timed_out_ = false;
+  poll_counter_ = 0;
+  constraints_inserted_ = 0;
+  counted_outputs_ = 0;
+  complete_shortcut_ok_ = true;
+  rotations_.assign(num_vars_, Rotation{});
+  // Grow-only: a Reconfigure to fewer variables keeps the deeper level
+  // vectors (and their capacity) parked for the next bigger query.
+  if (levels_.size() < static_cast<size_t>(num_vars_)) {
+    levels_.resize(num_vars_);
+  }
+  levels_[0].clear();
+  levels_[0].push_back({n(root_), 0});
+  levels_valid_ = 1;
+}
+
+void Cds::Reconfigure(int num_vars, const Options& options) {
+  assert(num_vars >= 1 && num_vars < 63);
+  num_vars_ = num_vars;
+  options_ = options;
+  deadline_ = nullptr;
+  Reset();
 }
 
 void Cds::SetFrontier(const Tuple& t) {
   assert(static_cast<int>(t.size()) == num_vars_);
+  for (int d = 0; d < num_vars_; ++d) {
+    if (frontier_[d] != t[d]) {
+      InvalidateLevelsFrom(d + 1);  // levels d+1.. depend on frontier_[d]
+      break;
+    }
+  }
   frontier_ = t;
 }
 
 bool Cds::InsertConstraint(const Constraint& c) {
   assert(c.depth() < num_vars_);
   assert(c.lo < c.hi);
-  CdsNode* node = root_.get();
+  // Precise level-cache maintenance: a node created at depth d+1 (or a
+  // subtree deleted under the final node) only affects cached levels if
+  // its whole path generalizes the current frontier prefix — patterns
+  // that bind a non-frontier equality live outside every level. Most
+  // inserts therefore stale only the levels below their pattern depth,
+  // keeping the shallow gathers warm across engine rounds.
+  bool generalizes = true;
+  CdsNode* node = n(root_);
+  int d = 0;
   for (const Value p : c.pattern) {
-    node = p == kWildcard ? node->EnsureWildcardChild(&id_counter_)
-                          : node->EnsureChild(p, &id_counter_);
-    if (node == nullptr) return false;  // subsumed along the walk
+    const uint64_t ids_before = id_counter_;
+    const CdsIndex next = p == kWildcard
+                              ? node->EnsureWildcardChild(arena_, &id_counter_)
+                              : node->EnsureChild(arena_, p, &id_counter_);
+    generalizes = generalizes && (p == kWildcard || p == frontier_[d]);
+    if (id_counter_ != ids_before && generalizes) {
+      InvalidateLevelsFrom(d + 1);
+    }
+    if (next == kCdsNull) return false;  // subsumed along the walk
+    node = n(next);
+    ++d;
   }
-  node->InsertInterval(c.lo, c.hi);
+  if (generalizes) InvalidateLevelsFrom(c.depth() + 1);  // subtree deletes
+  node->InsertInterval(arena_, c.lo, c.hi);
   ++constraints_inserted_;
   return true;
 }
 
 void Cds::Gather(int depth, std::vector<ChainNode>* out, bool* is_chain) {
-  std::vector<ChainNode> cur = {{root_.get(), 0}};
-  std::vector<ChainNode> next;
-  for (int d = 0; d < depth; ++d) {
+  for (int d = levels_valid_; d <= depth; ++d) {
+    const std::vector<ChainNode>& cur = levels_[d - 1];
+    std::vector<ChainNode>& next = levels_[d];
     next.clear();
     for (const ChainNode& cn : cur) {
-      if (CdsNode* w = cn.node->wildcard_child()) {
-        next.push_back({w, cn.eq_mask});
+      if (const CdsIndex w = cn.node->wildcard_child(); w != kCdsNull) {
+        next.push_back({n(w), cn.eq_mask});
       }
-      if (CdsNode* c = cn.node->Child(frontier_[d])) {
-        next.push_back({c, cn.eq_mask | (uint64_t{1} << d)});
+      if (const CdsIndex c = cn.node->Child(frontier_[d - 1]); c != kCdsNull) {
+        next.push_back({n(c), cn.eq_mask | (uint64_t{1} << (d - 1))});
       }
     }
-    cur.swap(next);
   }
+  if (levels_valid_ < depth + 1) levels_valid_ = depth + 1;
   out->clear();
-  for (const ChainNode& cn : cur) {
+  for (const ChainNode& cn : levels_[depth]) {
     if (cn.node->has_intervals()) out->push_back(cn);
   }
   std::sort(out->begin(), out->end(), [](const ChainNode& a, const ChainNode& b) {
@@ -198,9 +129,14 @@ void Cds::Gather(int depth, std::vector<ChainNode>* out, bool* is_chain) {
 }
 
 CdsNode* Cds::EnsureExactNode(int depth) {
-  CdsNode* node = root_.get();
+  CdsNode* node = n(root_);
   for (int d = 0; d < depth && node != nullptr; ++d) {
-    node = node->EnsureChild(frontier_[d], &id_counter_);
+    const uint64_t ids_before = id_counter_;
+    const CdsIndex next = node->EnsureChild(arena_, frontier_[d], &id_counter_);
+    // The exact path generalizes the frontier by construction, so a
+    // created node at depth d+1 stales the cached levels from there.
+    if (id_counter_ != ids_before) InvalidateLevelsFrom(d + 1);
+    node = next == kCdsNull ? nullptr : n(next);
   }
   return node;
 }
@@ -215,8 +151,12 @@ Cds::FreeValue Cds::GetFreeValue(Value x, const std::vector<ChainNode>& chain,
     return {u->FirstEntryGe(x), false};
   }
   Value y = x;
+  // u's pointList is stable for the duration of this loop (recursive
+  // calls insert only into deeper chain members) and y never decreases,
+  // so the probes resume from a galloping position hint.
+  uint32_t pos = 0;
   for (;;) {
-    const Value y1 = u->Next(y);
+    const Value y1 = u->NextFrom(y, &pos);
     if (y1 == kPosInf) {
       y = kPosInf;
       break;
@@ -232,7 +172,7 @@ Cds::FreeValue Cds::GetFreeValue(Value x, const std::vector<ChainNode>& chain,
   // node all of whose co-chain members are generalizations — every node in
   // chain mode, only the dedicated exact-prefix bottom in poset mode.
   if ((chain_mode || i == 0) && x != kNegInf && x - 1 < y) {
-    u->InsertInterval(x - 1, y);
+    u->InsertInterval(arena_, x - 1, y);
   }
   return {y, false};
 }
@@ -243,11 +183,11 @@ void Cds::Truncate(CdsNode* u) {
   for (;;) {
     --depth_;
     if (depth_ < 0) return;
-    CdsNode* parent = u->parent();
-    assert(parent != nullptr);
+    assert(u->parent() != kCdsNull);
+    CdsNode* parent = n(u->parent());
     if (u->label() != kWildcard) {
       const Value x = u->label();
-      parent->InsertInterval(x - 1, x + 1);  // frees u's subtree
+      parent->InsertInterval(arena_, x - 1, x + 1);  // frees u's subtree
       return;
     }
     u = parent;
@@ -256,7 +196,7 @@ void Cds::Truncate(CdsNode* u) {
 
 bool Cds::ComputeFreeTuple() {
   depth_ = 0;
-  std::vector<ChainNode> chain;
+  std::vector<ChainNode>& chain = chain_;
   for (;;) {
     if (deadline_ != nullptr && ++poll_counter_ % 4096 == 0 &&
         deadline_->Expired()) {
@@ -268,7 +208,8 @@ bool Cds::ComputeFreeTuple() {
     Gather(depth_, &chain, &is_chain);
     bool chain_mode = is_chain;
     if (!is_chain) {
-      // §4.8 poset fallback: cache into the exact-prefix specialization.
+      // §4.8 poset fallback: cache into the exact-prefix specialization
+      // (EnsureExactNode stales the affected cached levels itself).
       CdsNode* exact = EnsureExactNode(depth_);
       if (exact != nullptr &&
           (chain.empty() || chain.front().node != exact)) {
@@ -313,12 +254,14 @@ bool Cds::ComputeFreeTuple() {
         }
       }
       if (dead != nullptr) {
-        Truncate(dead);  // adjusts depth_
+        Truncate(dead);  // adjusts depth_; frees the dead branch
       } else {
         --depth_;
         if (depth_ >= 0) ++frontier_[depth_];
       }
-      // The prefix at depth_ changed; deeper coordinates restart.
+      // The prefix at depth_ changed (and truncation freed a branch at
+      // depth_ + 1); deeper coordinates and cached levels restart.
+      InvalidateLevelsFrom(depth_ + 1);
       for (int i = depth_ + 1; i < num_vars_; ++i) {
         frontier_[i] = kFrontierFloor;
       }
@@ -326,10 +269,15 @@ bool Cds::ComputeFreeTuple() {
     }
 
     // The value moved: deeper coordinates belong to an older prefix and
-    // restart from the floor. (Unlike Algorithm 4's line 13 we never reset
-    // on an empty next chain — that would rewind the caller's moving
-    // frontier below already-reported outputs.)
+    // restart from the floor, and the Idea 5 cache inserts may have
+    // deleted child branches strictly inside (x-1, y) under the chain
+    // nodes at this depth. (A y == x descent only inserts unit gaps —
+    // x was free, so nothing merges and nothing is deleted — and the
+    // cached levels stay warm.) Unlike Algorithm 4's line 13 we never
+    // reset on an empty next chain — that would rewind the caller's
+    // moving frontier below already-reported outputs.
     if (y > x) {
+      InvalidateLevelsFrom(depth_ + 1);
       for (int i = depth_ + 1; i < num_vars_; ++i) {
         frontier_[i] = kFrontierFloor;
       }
@@ -342,7 +290,7 @@ bool Cds::ComputeFreeTuple() {
 
 uint64_t Cds::DrainCompleteLastLevel(uint64_t required_mask) {
   const int d = num_vars_ - 1;
-  std::vector<ChainNode> chain;
+  std::vector<ChainNode>& chain = chain_;
   bool is_chain;
   Gather(d, &chain, &is_chain);
   if (!is_chain || chain.empty()) return 0;
@@ -350,15 +298,6 @@ uint64_t Cds::DrainCompleteLastLevel(uint64_t required_mask) {
   CdsNode* bottom = chain.front().node;
   if (!bottom->complete()) return 0;
   const uint64_t k = bottom->CountEntriesGe(frontier_[d] + 1);
-#ifdef WCOJ_DEBUG_DRAIN
-  {
-    std::string es;
-    for (const auto& e : bottom->entries()) es += ValueToString(e.v) + (e.child?"*":"") + " ";
-    fprintf(stderr, "[drain] frontier=%s k=%llu mask=%llx entries=[%s]\n",
-            TupleToString(frontier_).c_str(), (unsigned long long)k,
-            (unsigned long long)chain.front().eq_mask, es.c_str());
-  }
-#endif
   counted_outputs_ += k;
   frontier_[d] = kPosInf;  // exhaust the class; next call backtracks
   return k;

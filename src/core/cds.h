@@ -5,12 +5,18 @@
 //
 // A tree with one level per GAO attribute. Edges are labeled with equality
 // values or a wildcard; a node's pattern is the label sequence from the
-// root. Each node stores a *pointList* (Idea 1): one sorted entry vector
+// root. Each node stores a *pointList* (Idea 1): one sorted entry sequence
 // where every entry value is simultaneously a potential interval endpoint
 // (left/right flags) and a potential equality-child label. Stored open
 // intervals are pairwise non-overlapping; overlapping inserts merge, and
 // entries strictly inside a newly inserted interval are deleted together
 // with their child subtrees (those branches are subsumed by the gap).
+//
+// Storage: nodes and pointList buffers live in a CdsArena
+// (core/cds_arena.h) — slab-allocated, index-linked, recycled through
+// free lists. A Cds either owns a private arena or borrows one from the
+// caller's ExecScratch, in which case repeated runs reuse warm memory
+// and a steady-state execution performs no heap allocation at all.
 //
 // ComputeFreeTuple implements Algorithm 4 with:
 //   Idea 2 (moving frontier), Idea 5 (backtracking & truncation),
@@ -29,82 +35,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/cds_arena.h"
 #include "core/constraint.h"
 #include "util/stopwatch.h"
 #include "util/value.h"
 
 namespace wcoj {
-
-class CdsNode {
- public:
-  struct Entry {
-    Value v;
-    bool left = false;   // v is a left endpoint of a stored interval
-    bool right = false;  // v is a right endpoint of a stored interval
-    std::unique_ptr<CdsNode> child;  // equality branch labeled v
-  };
-
-  CdsNode(CdsNode* parent, Value label, uint64_t id)
-      : parent_(parent), label_(label), id_(id) {}
-
-  CdsNode(const CdsNode&) = delete;
-  CdsNode& operator=(const CdsNode&) = delete;
-
-  // Smallest y >= x not strictly inside any stored interval. Entry values
-  // themselves are never covered (intervals are open), so they are free.
-  Value Next(Value x) const;
-
-  // True iff the single interval (-inf, +inf) covers everything.
-  bool HasNoFreeValue() const;
-
-  // Inserts open interval (l, r), l < r, merging overlaps and deleting
-  // subsumed entries/subtrees. Intervals that contain no integer are still
-  // stored: their endpoints feed the pointList free-value bookkeeping that
-  // Idea 6 depends on.
-  void InsertInterval(Value l, Value r);
-
-  // Child with equality label v, or nullptr.
-  CdsNode* Child(Value v) const;
-  // Creates the child if absent. Returns nullptr if v is covered by an
-  // interval (the branch is subsumed; nothing to create).
-  CdsNode* EnsureChild(Value v, uint64_t* id_counter);
-
-  CdsNode* wildcard_child() const { return wildcard_child_.get(); }
-  CdsNode* EnsureWildcardChild(uint64_t* id_counter);
-
-  bool has_intervals() const { return left_count_ > 0; }
-
-  // First entry value >= x, or +inf if none. Used for complete nodes.
-  Value FirstEntryGe(Value x) const;
-  // Number of finite entry values in [x, +inf): the remaining free values
-  // of a complete node (used by #Minesweeper).
-  uint64_t CountEntriesGe(Value x) const;
-
-  CdsNode* parent() const { return parent_; }
-  Value label() const { return label_; }
-  uint64_t id() const { return id_; }
-
-  bool complete() const { return complete_; }
-  void NoteExhaustedRotation() {
-    if (++exhausted_rotations_ >= 2) complete_ = true;
-  }
-
-  const std::vector<Entry>& entries() const { return entries_; }
-  size_t NumIntervals() const { return left_count_; }
-
- private:
-  // Index of first entry with value >= v.
-  size_t LowerBound(Value v) const;
-
-  CdsNode* parent_;
-  Value label_;  // kWildcard for the wildcard branch
-  uint64_t id_;
-  std::vector<Entry> entries_;  // sorted by v
-  std::unique_ptr<CdsNode> wildcard_child_;
-  size_t left_count_ = 0;  // number of entries with the left flag
-  int exhausted_rotations_ = 0;
-  bool complete_ = false;
-};
 
 class Cds {
  public:
@@ -120,7 +56,23 @@ class Cds {
     std::vector<bool> completeness_blocked;
   };
 
-  Cds(int num_vars, const Options& options);
+  // Builds on `arena` when given (the per-worker ExecScratch path) after
+  // Reset()ing it — at most one live Cds per arena, and constructing a
+  // new one invalidates the previous tree. Without an arena the Cds owns
+  // a private one.
+  explicit Cds(int num_vars, const Options& options,
+               CdsArena* arena = nullptr);
+
+  // Epoch bump: reclaims the whole tree via CdsArena::Reset and restarts
+  // from an empty CDS with the same options. Never walks the tree, and
+  // on a warm arena never touches malloc.
+  void Reset();
+
+  // Reset with a new shape: rebinds the Cds to a (possibly different)
+  // query's variable count and options while keeping every internal
+  // scratch vector's capacity. This is how a per-worker ExecScratch
+  // serves one warm Cds shell to run after run (ExecScratch::AcquireCds).
+  void Reconfigure(int num_vars, const Options& options);
 
   // Inserts a gap-box constraint (pattern walk from the root, interval at
   // the final node). Returns false if the constraint was subsumed by an
@@ -158,16 +110,32 @@ class Cds {
   // Outputs tallied wholesale by the count-mode complete-node shortcut.
   uint64_t counted_outputs() const { return counted_outputs_; }
 
+  const CdsArena& arena() const { return *arena_; }
+
  private:
   struct ChainNode {
     CdsNode* node;
     uint64_t eq_mask;  // bitmask of equality (non-wildcard) positions
   };
 
+  CdsNode* n(CdsIndex i) { return arena_->node(i); }
+
   // All interval-bearing nodes at `depth` whose pattern generalizes the
   // frontier prefix, most specialized first. Sets *is_chain to whether
-  // their equality masks are nested.
+  // their equality masks are nested. Served from the incremental level
+  // cache below: level d+1 is derived from level d and frontier_[d], so
+  // the common descend-one-level step is O(|level|) instead of a fresh
+  // O(depth * |levels|) walk from the root.
   void Gather(int depth, std::vector<ChainNode>* out, bool* is_chain);
+
+  // Marks cached levels >= depth stale (level 0, the root, never is).
+  // Must be called whenever frontier_[depth-1] changes or the node set
+  // reachable at some level >= depth may have changed (node creation by
+  // InsertConstraint/EnsureExactNode, subtree deletion by interval
+  // merges or truncation).
+  void InvalidateLevelsFrom(int depth) {
+    if (levels_valid_ > depth) levels_valid_ = depth < 1 ? 1 : depth;
+  }
 
   // Node whose pattern equals the frontier prefix of length `depth`
   // exactly (creating it if needed); poset-mode caching target (§4.8).
@@ -185,15 +153,15 @@ class Cds {
   // Algorithm 6. May delete `u`'s branch; adjusts depth_.
   void Truncate(CdsNode* u);
 
-  void InvalidateRotations();
-
   int num_vars_;
   Options options_;
   const Deadline* deadline_ = nullptr;
   bool timed_out_ = false;
   uint64_t poll_counter_ = 0;
   uint64_t id_counter_ = 0;
-  std::unique_ptr<CdsNode> root_;
+  std::unique_ptr<CdsArena> owned_arena_;  // set when no arena was given
+  CdsArena* arena_;
+  CdsIndex root_ = kCdsNull;
   Tuple frontier_;
   int depth_ = 0;
   uint64_t constraints_inserted_ = 0;
@@ -207,6 +175,17 @@ class Cds {
     bool valid = false;
   };
   std::vector<Rotation> rotations_;
+
+  // Incremental Gather cache: levels_[d] is the full set of nodes whose
+  // pattern generalizes the frontier prefix of length d (interval-free
+  // nodes included — they may gain intervals without changing
+  // membership). levels_[d] is valid iff d < levels_valid_; level 0 is
+  // {root}. The vectors are reused across calls and Resets, so a warm
+  // steady state gathers without allocating.
+  std::vector<std::vector<ChainNode>> levels_;
+  int levels_valid_ = 1;
+  // Reusable chain scratch for ComputeFreeTuple/DrainCompleteLastLevel.
+  std::vector<ChainNode> chain_;
 };
 
 }  // namespace wcoj

@@ -9,12 +9,16 @@
 // BoundQuery. Benchmarks and tests treat engines interchangeably, exactly
 // how the paper swaps join algorithms inside one system.
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/cds.h"
+#include "core/cds_arena.h"
 #include "query/query.h"
 #include "util/stopwatch.h"
 #include "util/value.h"
@@ -29,9 +33,17 @@ struct EngineStats {
   uint64_t intermediate_tuples = 0;   // baseline materialized rows
   uint64_t index_builds = 0;          // TrieIndex constructions performed
   uint64_t index_cache_hits = 0;      // catalog indexes reused, no build
+  // CDS arena accounting (core/cds_arena.h): nodes carved from fresh
+  // arena memory vs nodes served from free lists / warm slabs. A warm
+  // scratch run reports cds_nodes_allocated == 0 — the allocation-free
+  // steady state. cds_peak_arena_bytes is the arena's high-water heap
+  // footprint (merged with max, not sum: per-worker arenas coexist).
+  uint64_t cds_nodes_allocated = 0;
+  uint64_t cds_nodes_recycled = 0;
+  uint64_t cds_peak_arena_bytes = 0;
 
-  // Field-wise sum; partitioned runs and multi-phase engines merge
-  // per-part stats with this.
+  // Field-wise merge; partitioned runs and multi-phase engines merge
+  // per-part stats with this. Counters sum, footprints take the max.
   void Add(const EngineStats& o) {
     seeks += o.seeks;
     constraints_inserted += o.constraints_inserted;
@@ -40,7 +52,57 @@ struct EngineStats {
     intermediate_tuples += o.intermediate_tuples;
     index_builds += o.index_builds;
     index_cache_hits += o.index_cache_hits;
+    cds_nodes_allocated += o.cds_nodes_allocated;
+    cds_nodes_recycled += o.cds_nodes_recycled;
+    cds_peak_arena_bytes = std::max(cds_peak_arena_bytes, o.cds_peak_arena_bytes);
   }
+};
+
+// Reusable per-worker execution scratch, owned by the caller (a §4.10
+// partition worker, a repeated CLI run, an incremental view). An engine
+// handed a scratch draws its CDS from the scratch's arena instead of
+// building one on the general-purpose heap, so every execution after
+// the first runs against warm memory and the steady state performs no
+// CDS heap allocation. A scratch must never be shared by concurrent
+// executions — one worker, one scratch.
+struct ExecScratch {
+  CdsArena cds_arena;
+
+  // One warm Cds shell on top of the arena: Reconfigure()d to the run's
+  // shape, it reuses its internal search vectors run after run. The
+  // returned reference is invalidated by the next AcquireCds call.
+  Cds& AcquireCds(int num_vars, const Cds::Options& options) {
+    if (cds == nullptr) {
+      cds = std::make_unique<Cds>(num_vars, options, &cds_arena);
+    } else {
+      cds->Reconfigure(num_vars, options);
+    }
+    return *cds;
+  }
+
+  std::unique_ptr<Cds> cds;
+};
+
+// Stable per-worker scratch slots for multi-threaded drivers: worker w
+// always gets the same ExecScratch, which stays warm across runs when
+// the pool outlives them (PartitionedExecute accepts a caller pool).
+class ExecScratchPool {
+ public:
+  // Ensures workers [0, n) exist. Not thread-safe: size the pool before
+  // handing ForWorker out to concurrent jobs.
+  void Reserve(int n) {
+    while (static_cast<int>(workers_.size()) < n) {
+      workers_.push_back(std::make_unique<ExecScratch>());
+    }
+  }
+  ExecScratch* ForWorker(int w) {
+    assert(w >= 0 && w < static_cast<int>(workers_.size()));
+    return workers_[w].get();
+  }
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<ExecScratch>> workers_;
 };
 
 struct ExecOptions {
@@ -52,6 +114,9 @@ struct ExecOptions {
   Value var0_max = kPosInf;
   // Overrides BoundQuery::catalog when set (same lifetime contract).
   IndexCatalog* catalog = nullptr;
+  // Warm per-worker scratch; null means per-run private arenas. Must
+  // outlive the execution and see at most one execution at a time.
+  ExecScratch* scratch = nullptr;
 };
 
 // The catalog an execution should fetch indexes from, if any.

@@ -132,6 +132,12 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
     ExecOptions suffix_opts;
     suffix_opts.deadline = opts.deadline;
     suffix_opts.collect_tuples = opts.collect_tuples;
+    // The prefix Minesweeper above already ran on opts' scratch (the
+    // option struct is forwarded wholesale); keep the suffix runs on the
+    // same per-worker scratch so any CDS-bearing suffix engine stays
+    // warm too. The runs are sequential, so the single-user contract
+    // holds.
+    suffix_opts.scratch = opts.scratch;
     if (!opts.collect_tuples) {
       auto it = memo.find(j);
       if (it != memo.end()) {

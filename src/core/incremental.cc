@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "core/lftj.h"
-
 namespace wcoj {
 
 namespace {
@@ -41,9 +39,15 @@ Relation Genuine(const Relation& rel, const std::vector<Tuple>& tuples,
 }  // namespace
 
 IncrementalCountView::IncrementalCountView(const BoundQuery& q,
-                                           std::vector<int> mutable_atoms)
-    : q_(q), mutable_atoms_(std::move(mutable_atoms)), current_(1) {
+                                           std::vector<int> mutable_atoms,
+                                           Options options)
+    : q_(q),
+      mutable_atoms_(std::move(mutable_atoms)),
+      options_(std::move(options)),
+      engine_(CreateEngine(options_.engine)),
+      current_(1) {
   assert(!mutable_atoms_.empty());
+  assert(engine_ != nullptr && "unknown engine name in Options::engine");
   const Relation* rel = q.atoms[mutable_atoms_[0]].relation;
   for (int a : mutable_atoms_) {
     assert(q.atoms[a].relation == rel && "mutable atoms must share a relation");
@@ -52,25 +56,40 @@ IncrementalCountView::IncrementalCountView(const BoundQuery& q,
   current_ = *rel;  // snapshot
   // Rebind the mutable atoms to the snapshot and materialize the count.
   for (int a : mutable_atoms_) q_.atoms[a].relation = &current_;
-  LftjEngine lftj;
-  count_ = lftj.Execute(q_, ExecOptions{}).count;
+  count_ = engine_->Execute(q_, MakeExecOptions()).count;
 }
+
+IncrementalCountView::IncrementalCountView(const BoundQuery& q,
+                                           std::vector<int> mutable_atoms)
+    : IncrementalCountView(q, std::move(mutable_atoms), Options{}) {}
 
 IncrementalCountView IncrementalCountView::ForRelation(const BoundQuery& q,
                                                        const Relation* rel) {
+  return ForRelation(q, rel, Options{});
+}
+
+IncrementalCountView IncrementalCountView::ForRelation(const BoundQuery& q,
+                                                       const Relation* rel,
+                                                       Options options) {
   std::vector<int> atoms;
   for (size_t a = 0; a < q.atoms.size(); ++a) {
     if (q.atoms[a].relation == rel) atoms.push_back(static_cast<int>(a));
   }
-  return IncrementalCountView(q, std::move(atoms));
+  return IncrementalCountView(q, std::move(atoms), std::move(options));
+}
+
+ExecOptions IncrementalCountView::MakeExecOptions() const {
+  ExecOptions opts;
+  opts.scratch = options_.scratch;
+  return opts;
 }
 
 uint64_t IncrementalCountView::CountWith(const Relation& before,
                                          const Relation& delta,
                                          const Relation& after) const {
   // Telescoping sum: the i-th term binds mutable atoms < i to `before`,
-  // atom i to `delta`, and atoms > i to `after`.
-  LftjEngine lftj;
+  // atom i to `delta`, and atoms > i to `after`. Every term runs on the
+  // view's engine and (if configured) warm scratch, back to back.
   uint64_t sum = 0;
   for (size_t i = 0; i < mutable_atoms_.size(); ++i) {
     BoundQuery term = q_;
@@ -78,7 +97,7 @@ uint64_t IncrementalCountView::CountWith(const Relation& before,
       term.atoms[mutable_atoms_[j]].relation =
           j < i ? &before : (j == i ? &delta : &after);
     }
-    sum += lftj.Execute(term, ExecOptions{}).count;
+    sum += engine_->Execute(term, MakeExecOptions()).count;
   }
   return sum;
 }

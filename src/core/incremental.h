@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "query/query.h"
 #include "storage/relation.h"
 
@@ -30,12 +31,30 @@ namespace wcoj {
 
 class IncrementalCountView {
  public:
+  struct Options {
+    // Engine used for the materialization and every delta term; any
+    // CreateEngine name. The Minesweeper flavors pair naturally with
+    // `scratch`: one update telescopes into several counting runs, all
+    // of which then share one warm CDS arena.
+    std::string engine = "lftj";
+    // Warm per-worker scratch threaded into every execution this view
+    // performs; must outlive the view and follows the usual
+    // one-concurrent-execution contract.
+    ExecScratch* scratch = nullptr;
+  };
+
   // `q` must already be bound; `mutable_atoms` lists the atom indices
   // whose relation is the mutable one (they must all reference the same
-  // Relation object, whose contents this view snapshots).
+  // Relation object, whose contents this view snapshots). The
+  // options-free overloads use Options' defaults (LFTJ, no scratch).
+  IncrementalCountView(const BoundQuery& q, std::vector<int> mutable_atoms,
+                       Options options);
   IncrementalCountView(const BoundQuery& q, std::vector<int> mutable_atoms);
 
   // Convenience: treat every atom bound to `rel` as mutable.
+  static IncrementalCountView ForRelation(const BoundQuery& q,
+                                          const Relation* rel,
+                                          Options options);
   static IncrementalCountView ForRelation(const BoundQuery& q,
                                           const Relation* rel);
 
@@ -51,9 +70,12 @@ class IncrementalCountView {
  private:
   uint64_t CountWith(const Relation& before, const Relation& delta,
                      const Relation& after) const;
+  ExecOptions MakeExecOptions() const;
 
   BoundQuery q_;
   std::vector<int> mutable_atoms_;
+  Options options_;
+  std::unique_ptr<Engine> engine_;
   Relation current_;
   uint64_t count_ = 0;
 };

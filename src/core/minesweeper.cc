@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/atom_index.h"
@@ -65,7 +66,20 @@ class MsRun {
     cds_options.idea6_complete_nodes = ms_.idea6_complete_nodes;
     cds_options.count_mode = ms_.count_mode && !opts_.collect_tuples;
     cds_options.completeness_blocked = CompletenessBlockedDepths();
-    Cds cds(q_.num_vars, cds_options);
+    // Draw the CDS from the caller's warm per-worker scratch when one is
+    // provided (partitioned runs, repeated executions) — arena memory
+    // and the Cds shell's search vectors both stay warm across runs;
+    // otherwise build a private one that dies with this run.
+    std::optional<Cds> local_cds;
+    Cds* cds_ptr;
+    if (opts_.scratch != nullptr) {
+      cds_ptr = &opts_.scratch->AcquireCds(q_.num_vars, cds_options);
+    } else {
+      local_cds.emplace(q_.num_vars, cds_options);
+      cds_ptr = &*local_cds;
+    }
+    Cds& cds = *cds_ptr;
+    const CdsArena* arena = &cds.arena();
     cds.set_deadline(&opts_.deadline);
     InsertDomainBounds(&cds);
     Tuple start(q_.num_vars, kFloor);
@@ -196,6 +210,10 @@ class MsRun {
     }
     if (cds.timed_out()) result_->timed_out = true;
     result_->stats.constraints_inserted = cds.constraints_inserted();
+    result_->stats.cds_nodes_allocated += arena->nodes_allocated();
+    result_->stats.cds_nodes_recycled += arena->nodes_recycled();
+    result_->stats.cds_peak_arena_bytes =
+        std::max(result_->stats.cds_peak_arena_bytes, arena->peak_bytes());
   }
 
   // Depths where frontier advances (Idea 7 non-skeleton gaps, filter

@@ -5,24 +5,37 @@
 
 namespace wcoj {
 
-void JobPool::Run(const std::vector<std::function<void()>>& jobs) const {
-  std::atomic<size_t> cursor{0};
-  auto worker = [&]() {
-    for (;;) {
-      const size_t i = cursor.fetch_add(1);
-      if (i >= jobs.size()) return;
-      jobs[i]();
-    }
-  };
-  const int threads = std::max(1, std::min<int>(num_threads_, jobs.size()));
+void JobPool::RunIndexed(
+    size_t count, const std::function<void(size_t, int)>& invoke) const {
+  if (count == 0) return;
+  const int threads =
+      std::max(1, std::min(num_threads_, static_cast<int>(count)));
   if (threads == 1) {
-    worker();
+    // num_threads_ == 1 or a single job: run inline on the calling
+    // thread, in job order — no spawn/join cost, identical to serial.
+    for (size_t i = 0; i < count; ++i) invoke(i, 0);
     return;
   }
+  std::atomic<size_t> cursor{0};
+  auto worker = [&](int w) {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1);
+      if (i >= count) return;
+      invoke(i, w);
+    }
+  };
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
   for (auto& t : pool) t.join();
+}
+
+void JobPool::Run(const std::vector<std::function<void()>>& jobs) const {
+  RunIndexed(jobs.size(), [&jobs](size_t i, int) { jobs[i](); });
+}
+
+void JobPool::Run(const std::vector<std::function<void(int)>>& jobs) const {
+  RunIndexed(jobs.size(), [&jobs](size_t i, int w) { jobs[i](w); });
 }
 
 }  // namespace wcoj

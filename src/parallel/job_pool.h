@@ -5,6 +5,12 @@
 // shared atomic cursor, so a thread that finishes early immediately grabs
 // the next unclaimed job — the LogicBlox "job pool" behaviour the paper's
 // granularity-factor experiment (Table 5) relies on.
+//
+// Degenerate batches run inline: with num_threads == 1 or a single job
+// there is no parallelism to win, so Run executes the jobs sequentially
+// on the calling thread — no thread spawn, and bit-for-bit the same
+// schedule as a serial loop. Fine-granularity partitioned runs on one
+// thread therefore pay zero pool overhead.
 
 #include <atomic>
 #include <functional>
@@ -20,9 +26,18 @@ class JobPool {
   // independently executable from any thread.
   void Run(const std::vector<std::function<void()>>& jobs) const;
 
+  // Worker-indexed flavor: each job receives the id (in [0, threads)) of
+  // the worker executing it, so callers can hand jobs per-worker state
+  // (e.g. ExecScratch) without locking. Inline execution uses worker 0.
+  void Run(const std::vector<std::function<void(int)>>& jobs) const;
+
   int num_threads() const { return num_threads_; }
 
  private:
+  // Shared driver: invoke(job_index, worker_id) for every job.
+  void RunIndexed(size_t count,
+                  const std::function<void(size_t, int)>& invoke) const;
+
   int num_threads_;
 };
 

@@ -54,8 +54,15 @@ EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads) {
 
 ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
                               const ExecOptions& opts, int num_threads,
-                              int granularity) {
+                              int granularity,
+                              ExecScratchPool* scratch_pool) {
   ExecResult total;
+  // One scratch per worker, sized before any job can race ForWorker. A
+  // caller-owned pool stays warm across PartitionedExecute calls; the
+  // local fallback at least keeps jobs within this call warm per worker.
+  ExecScratchPool local_pool;
+  if (scratch_pool == nullptr) scratch_pool = &local_pool;
+  scratch_pool->Reserve(std::max(1, num_threads));
   IndexCatalog* catalog = EffectiveCatalog(q, opts);
   // GAO indexes are only pre-built (and only read for domain metadata
   // below) for engines that actually consume them; for the others the
@@ -111,15 +118,16 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
   const int parts = std::max(1, num_threads * granularity);
   const Value span = hi - lo + 1;
   std::mutex mu;
-  std::vector<std::function<void()>> jobs;
+  std::vector<std::function<void(int)>> jobs;
   for (int p = 0; p < parts; ++p) {
     const Value a = lo + span * p / parts;
     const Value b = lo + span * (p + 1) / parts - 1;
     if (a > b) continue;
-    jobs.push_back([&, a, b]() {
+    jobs.push_back([&, a, b](int worker) {
       ExecOptions job_opts = opts;
       job_opts.var0_min = a;
       job_opts.var0_max = b;
+      job_opts.scratch = scratch_pool->ForWorker(worker);
       ExecResult r = engine.Execute(q, job_opts);
       std::lock_guard<std::mutex> lock(mu);
       total.count += r.count;

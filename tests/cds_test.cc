@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/cds.h"
+#include "core/cds_arena.h"
 #include "core/constraint.h"
 #include "util/rng.h"
 
@@ -42,108 +43,177 @@ class IntervalOracle {
   std::vector<std::pair<Value, Value>> intervals_;
 };
 
+// Arena + one root node, the fixture every CdsNode test starts from.
+struct NodeFixture {
+  CdsArena arena;
+  CdsNode* node;
+  uint64_t ids = 1;
+  NodeFixture() { node = arena.node(arena.AllocNode(kCdsNull, kWildcard, 1)); }
+};
+
 TEST(CdsNodeTest, NextOnEmptyNodeIsIdentity) {
-  CdsNode node(nullptr, kWildcard, 1);
-  EXPECT_EQ(node.Next(-1), -1);
-  EXPECT_EQ(node.Next(42), 42);
+  NodeFixture f;
+  EXPECT_EQ(f.node->Next(-1), -1);
+  EXPECT_EQ(f.node->Next(42), 42);
 }
 
 TEST(CdsNodeTest, NextSkipsOpenInterval) {
-  CdsNode node(nullptr, kWildcard, 1);
-  node.InsertInterval(5, 7);
-  EXPECT_EQ(node.Next(4), 4);
-  EXPECT_EQ(node.Next(5), 5);  // endpoints are free (open interval)
-  EXPECT_EQ(node.Next(6), 7);
-  EXPECT_EQ(node.Next(7), 7);
-  EXPECT_EQ(node.Next(8), 8);
+  NodeFixture f;
+  f.node->InsertInterval(&f.arena, 5, 7);
+  EXPECT_EQ(f.node->Next(4), 4);
+  EXPECT_EQ(f.node->Next(5), 5);  // endpoints are free (open interval)
+  EXPECT_EQ(f.node->Next(6), 7);
+  EXPECT_EQ(f.node->Next(7), 7);
+  EXPECT_EQ(f.node->Next(8), 8);
 }
 
 TEST(CdsNodeTest, TouchingIntervalsLeaveSharedEndpointFree) {
   // Paper Figure 2: (1,3) and (3,9) keep 3 free, marked both L and R.
-  CdsNode node(nullptr, kWildcard, 1);
-  node.InsertInterval(1, 3);
-  node.InsertInterval(3, 9);
-  EXPECT_EQ(node.Next(2), 3);
-  EXPECT_EQ(node.Next(3), 3);
-  EXPECT_EQ(node.Next(4), 9);
-  EXPECT_EQ(node.NumIntervals(), 2u);
+  NodeFixture f;
+  f.node->InsertInterval(&f.arena, 1, 3);
+  f.node->InsertInterval(&f.arena, 3, 9);
+  EXPECT_EQ(f.node->Next(2), 3);
+  EXPECT_EQ(f.node->Next(3), 3);
+  EXPECT_EQ(f.node->Next(4), 9);
+  EXPECT_EQ(f.node->NumIntervals(), 2u);
 }
 
 TEST(CdsNodeTest, OverlappingIntervalsMerge) {
-  CdsNode node(nullptr, kWildcard, 1);
-  node.InsertInterval(1, 6);
-  node.InsertInterval(4, 10);
-  EXPECT_EQ(node.Next(2), 10);
-  EXPECT_EQ(node.Next(6), 10);  // 6 was an endpoint but is now interior
-  EXPECT_EQ(node.NumIntervals(), 1u);
+  NodeFixture f;
+  f.node->InsertInterval(&f.arena, 1, 6);
+  f.node->InsertInterval(&f.arena, 4, 10);
+  EXPECT_EQ(f.node->Next(2), 10);
+  EXPECT_EQ(f.node->Next(6), 10);  // 6 was an endpoint but is now interior
+  EXPECT_EQ(f.node->NumIntervals(), 1u);
 }
 
 TEST(CdsNodeTest, ContainedIntervalIsNoOp) {
-  CdsNode node(nullptr, kWildcard, 1);
-  node.InsertInterval(1, 10);
-  node.InsertInterval(3, 5);
-  EXPECT_EQ(node.Next(2), 10);
-  EXPECT_EQ(node.Next(4), 10);
-  EXPECT_EQ(node.NumIntervals(), 1u);
+  NodeFixture f;
+  f.node->InsertInterval(&f.arena, 1, 10);
+  f.node->InsertInterval(&f.arena, 3, 5);
+  EXPECT_EQ(f.node->Next(2), 10);
+  EXPECT_EQ(f.node->Next(4), 10);
+  EXPECT_EQ(f.node->NumIntervals(), 1u);
 }
 
 TEST(CdsNodeTest, InsertDeletesInteriorChildBranches) {
-  CdsNode node(nullptr, kWildcard, 1);
-  uint64_t ids = 10;
-  ASSERT_NE(node.EnsureChild(5, &ids), nullptr);
-  ASSERT_NE(node.EnsureChild(9, &ids), nullptr);
-  node.InsertInterval(3, 7);  // 5 is interior: child branch subsumed
-  EXPECT_EQ(node.Child(5), nullptr);
-  EXPECT_NE(node.Child(9), nullptr);
+  NodeFixture f;
+  ASSERT_NE(f.node->EnsureChild(&f.arena, 5, &f.ids), kCdsNull);
+  ASSERT_NE(f.node->EnsureChild(&f.arena, 9, &f.ids), kCdsNull);
+  f.node->InsertInterval(&f.arena, 3, 7);  // 5 is interior: branch subsumed
+  EXPECT_EQ(f.node->Child(5), kCdsNull);
+  EXPECT_NE(f.node->Child(9), kCdsNull);
 }
 
 TEST(CdsNodeTest, EnsureChildRefusesCoveredValues) {
-  CdsNode node(nullptr, kWildcard, 1);
-  node.InsertInterval(3, 7);
-  uint64_t ids = 10;
-  EXPECT_EQ(node.EnsureChild(5, &ids), nullptr);
-  EXPECT_NE(node.EnsureChild(3, &ids), nullptr);  // endpoint is free
-  EXPECT_NE(node.EnsureChild(7, &ids), nullptr);
+  NodeFixture f;
+  f.node->InsertInterval(&f.arena, 3, 7);
+  EXPECT_EQ(f.node->EnsureChild(&f.arena, 5, &f.ids), kCdsNull);
+  EXPECT_NE(f.node->EnsureChild(&f.arena, 3, &f.ids), kCdsNull);  // endpoint
+  EXPECT_NE(f.node->EnsureChild(&f.arena, 7, &f.ids), kCdsNull);
 }
 
 TEST(CdsNodeTest, HasNoFreeValueOnlyWhenFullyCovered) {
-  CdsNode node(nullptr, kWildcard, 1);
-  EXPECT_FALSE(node.HasNoFreeValue());
-  node.InsertInterval(kNegInf, 100);
-  EXPECT_FALSE(node.HasNoFreeValue());
-  node.InsertInterval(50, kPosInf);
-  EXPECT_TRUE(node.HasNoFreeValue());
+  NodeFixture f;
+  EXPECT_FALSE(f.node->HasNoFreeValue());
+  f.node->InsertInterval(&f.arena, kNegInf, 100);
+  EXPECT_FALSE(f.node->HasNoFreeValue());
+  f.node->InsertInterval(&f.arena, 50, kPosInf);
+  EXPECT_TRUE(f.node->HasNoFreeValue());
 }
 
 TEST(CdsNodeTest, UnboundedIntervalsMergeAcrossInfinity) {
-  CdsNode node(nullptr, kWildcard, 1);
-  node.InsertInterval(kNegInf, 5);
-  node.InsertInterval(3, kPosInf);
-  EXPECT_EQ(node.Next(-1), kPosInf);
-  EXPECT_TRUE(node.HasNoFreeValue());
+  NodeFixture f;
+  f.node->InsertInterval(&f.arena, kNegInf, 5);
+  f.node->InsertInterval(&f.arena, 3, kPosInf);
+  EXPECT_EQ(f.node->Next(-1), kPosInf);
+  EXPECT_TRUE(f.node->HasNoFreeValue());
+}
+
+TEST(CdsNodeTest, PointListSpillsPastInlineTierAndStaysSorted) {
+  // More than kInlineEntries entries forces the pooled-buffer tier; the
+  // pointList must keep behaving identically across the spill.
+  NodeFixture f;
+  for (Value v = 0; v < 40; v += 4) {
+    f.node->InsertInterval(&f.arena, v, v + 2);  // entries 0,2,4,6,...
+  }
+  ASSERT_GT(f.node->num_entries(), CdsNode::kInlineEntries);
+  for (uint32_t i = 1; i < f.node->num_entries(); ++i) {
+    EXPECT_LT(f.node->entry(i - 1).v, f.node->entry(i).v);
+  }
+  EXPECT_EQ(f.node->Next(1), 2);
+  EXPECT_EQ(f.node->Next(37), 38);
+  EXPECT_EQ(f.node->NumIntervals(), 10u);
 }
 
 class CdsNodeFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CdsNodeFuzzTest, NextMatchesOracleUnderRandomInserts) {
   Rng rng(GetParam() * 104729 + 17);
-  CdsNode node(nullptr, kWildcard, 1);
+  NodeFixture f;
   IntervalOracle oracle;
   for (int step = 0; step < 200; ++step) {
     Value l = static_cast<Value>(rng.NextBounded(60)) - 5;
     Value r = l + 1 + static_cast<Value>(rng.NextBounded(12));
     if (rng.NextBounded(10) == 0) l = kNegInf;
     if (rng.NextBounded(10) == 0) r = kPosInf;
-    node.InsertInterval(l, r);
+    f.node->InsertInterval(&f.arena, l, r);
     oracle.Insert(l, r);
     for (Value x = -6; x <= 60; ++x) {
-      ASSERT_EQ(node.Next(x), oracle.Next(x))
+      ASSERT_EQ(f.node->Next(x), oracle.Next(x))
           << "x=" << x << " step=" << step;
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CdsNodeFuzzTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// CdsArena mechanics: recycling, epoch reset, warm reuse.
+
+TEST(CdsArenaTest, SubsumedSubtreesAreRecycledWithinAnEpoch) {
+  CdsArena arena;
+  uint64_t ids = 1;
+  CdsNode* root = arena.node(arena.AllocNode(kCdsNull, kWildcard, ids));
+  EXPECT_EQ(arena.nodes_allocated(), 1u);
+  EXPECT_EQ(arena.nodes_recycled(), 0u);
+  ASSERT_NE(root->EnsureChild(&arena, 5, &ids), kCdsNull);
+  ASSERT_NE(root->EnsureChild(&arena, 6, &ids), kCdsNull);
+  EXPECT_EQ(arena.nodes_allocated(), 3u);
+  root->InsertInterval(&arena, 3, 8);  // both branches die -> free list
+  // The next allocations are served from the free list, not fresh memory.
+  ASSERT_NE(root->EnsureChild(&arena, 10, &ids), kCdsNull);
+  ASSERT_NE(root->EnsureChild(&arena, 11, &ids), kCdsNull);
+  EXPECT_EQ(arena.nodes_allocated(), 3u);
+  EXPECT_EQ(arena.nodes_recycled(), 2u);
+}
+
+TEST(CdsArenaTest, ResetReclaimsEverythingAndServesWarmMemory) {
+  CdsArena arena;
+  auto build = [&] {
+    uint64_t ids = 1;
+    CdsNode* root = arena.node(arena.AllocNode(kCdsNull, kWildcard, ids));
+    for (Value v = 0; v < 32; ++v) {
+      CdsIndex c = root->EnsureChild(&arena, v * 3, &ids);
+      ASSERT_NE(c, kCdsNull);
+      arena.node(c)->InsertInterval(&arena, 0, 10);
+    }
+  };
+  build();
+  const uint64_t cold_allocated = arena.nodes_allocated();
+  const uint64_t peak = arena.peak_bytes();
+  EXPECT_GT(cold_allocated, 0u);
+  EXPECT_GT(peak, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.nodes_allocated(), 0u);
+  EXPECT_EQ(arena.nodes_recycled(), 0u);
+  build();
+  // Identical demand on a warm arena: every node comes from memory the
+  // arena already owned — zero fresh allocations, zero heap growth.
+  EXPECT_EQ(arena.nodes_allocated(), 0u);
+  EXPECT_EQ(arena.nodes_recycled(), cold_allocated);
+  EXPECT_EQ(arena.peak_bytes(), peak);
+}
 
 // ---------------------------------------------------------------------------
 // Cds free-tuple mechanics.
@@ -248,6 +318,52 @@ TEST(CdsTest, SubsumedConstraintIsRejected) {
   // Pattern value 5 is interior to (2,9): the branch cannot exist.
   EXPECT_FALSE(cds.InsertConstraint(MakeC({5}, 0, 3)));
   EXPECT_EQ(cds.constraints_inserted(), 1u);
+}
+
+TEST(CdsTest, ResetRestartsOnWarmArenaWithoutAllocating) {
+  CdsArena arena;
+  Cds cds(1, Cds::Options{}, &arena);
+  auto enumerate = [&] {
+    cds.InsertConstraint(MakeC({}, kNegInf, 2));
+    cds.InsertConstraint(MakeC({}, 4, 7));
+    cds.InsertConstraint(MakeC({}, 9, kPosInf));
+    std::vector<Value> seen;
+    while (cds.ComputeFreeTuple()) {
+      seen.push_back(cds.frontier()[0]);
+      Tuple next = cds.frontier();
+      ++next[0];
+      cds.SetFrontier(next);
+    }
+    return seen;
+  };
+  const std::vector<Value> cold = enumerate();
+  const uint64_t cold_allocated = arena.nodes_allocated();
+  const uint64_t peak = arena.peak_bytes();
+  EXPECT_GT(cold_allocated, 0u);
+  cds.Reset();
+  EXPECT_EQ(cds.constraints_inserted(), 0u);
+  EXPECT_EQ(enumerate(), cold);
+  // Same run on warm memory: nothing fresh, footprint unchanged.
+  EXPECT_EQ(arena.nodes_allocated(), 0u);
+  EXPECT_GT(arena.nodes_recycled(), 0u);
+  EXPECT_EQ(arena.peak_bytes(), peak);
+}
+
+TEST(CdsTest, SharedArenaSequentialCdsInstancesAreIndependent) {
+  CdsArena arena;
+  std::vector<Value> first;
+  {
+    Cds cds(1, Cds::Options{}, &arena);
+    cds.InsertConstraint(MakeC({}, kNegInf, 3));
+    ASSERT_TRUE(cds.ComputeFreeTuple());
+    first.push_back(cds.frontier()[0]);
+  }
+  // A new Cds on the same arena starts from a clean tree: the previous
+  // constraint must be gone.
+  Cds cds(1, Cds::Options{}, &arena);
+  ASSERT_TRUE(cds.ComputeFreeTuple());
+  EXPECT_EQ(cds.frontier()[0], -1);
+  EXPECT_EQ(first[0], 3);
 }
 
 }  // namespace

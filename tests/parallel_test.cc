@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "bench_util/workloads.h"
 #include "storage/catalog.h"
@@ -28,9 +29,57 @@ TEST(JobPoolTest, RunsEveryJobExactlyOnce) {
 
 TEST(JobPoolTest, SingleThreadAndEmptyJobListWork) {
   std::atomic<int> n{0};
-  JobPool(1).Run({[&]() { ++n; }, [&]() { ++n; }});
+  JobPool(1).Run(std::vector<std::function<void()>>{[&]() { ++n; },
+                                                    [&]() { ++n; }});
   EXPECT_EQ(n.load(), 2);
-  JobPool(3).Run({});
+  JobPool(3).Run(std::vector<std::function<void()>>{});
+}
+
+TEST(JobPoolTest, DegenerateBatchesRunInlineOnCallerThread) {
+  // num_threads == 1 or a single job: no thread spawn — every job runs
+  // on the calling thread, in submission order.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  std::vector<int> order;
+  std::vector<std::function<void()>> two_jobs = {
+      [&]() { seen.push_back(std::this_thread::get_id()); order.push_back(0); },
+      [&]() { seen.push_back(std::this_thread::get_id()); order.push_back(1); },
+  };
+  JobPool(1).Run(two_jobs);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], caller);
+  EXPECT_EQ(seen[1], caller);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+
+  seen.clear();
+  std::vector<std::function<void()>> one_job = {
+      [&]() { seen.push_back(std::this_thread::get_id()); }};
+  JobPool(8).Run(one_job);  // many threads, one job: still inline
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], caller);
+}
+
+TEST(JobPoolTest, WorkerIndexedJobsSeeValidWorkerIds) {
+  constexpr int kThreads = 4;
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  std::atomic<int> bad_worker{0};
+  std::vector<std::function<void(int)>> jobs;
+  for (int i = 0; i < 64; ++i) {
+    jobs.push_back([&, i](int worker) {
+      if (worker < 0 || worker >= kThreads) ++bad_worker;
+      ++hits[i];
+    });
+  }
+  JobPool(kThreads).Run(jobs);
+  EXPECT_EQ(bad_worker.load(), 0);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Inline flavor reports worker 0.
+  std::atomic<int> worker_sum{-1};
+  std::vector<std::function<void(int)>> one = {
+      [&](int worker) { worker_sum = worker; }};
+  JobPool(kThreads).Run(one);
+  EXPECT_EQ(worker_sum.load(), 0);
 }
 
 // Partitioned execution must produce identical counts to a direct run for
@@ -187,6 +236,43 @@ TEST(PartitionedRunTest, ParallelPrewarmBuildsOncePerDistinctIndex) {
   const EngineStats none = WarmQueryIndexesParallel(bq, 4);
   EXPECT_EQ(none.index_builds, 0u);
   EXPECT_EQ(none.index_cache_hits, 0u);
+}
+
+// The PR 4 acceptance bar: partition jobs draw their CDS from per-worker
+// scratch arenas, so a multi-partition run recycles nodes (every job
+// after a worker's first reuses warm memory), and re-running over a
+// caller-owned scratch pool reaches the allocation-free steady state.
+TEST(PartitionedRunTest, WorkerScratchIsReusedAcrossPartitionJobs) {
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  auto engine = CreateEngine("ms");
+  const ExecResult direct = engine->Execute(bq, ExecOptions{});
+
+  // Multi-threaded, granularity 8: some worker runs >= 2 jobs, so warm
+  // reuse must show up in the merged stats no matter how jobs land.
+  const ExecResult split =
+      PartitionedExecute(*engine, bq, ExecOptions{}, /*num_threads=*/2,
+                         /*granularity=*/8);
+  EXPECT_EQ(split.count, direct.count);
+  EXPECT_GT(split.stats.cds_nodes_recycled, 0u);
+
+  // Single-threaded with a caller-owned pool: deterministic job order,
+  // so the second whole run performs zero fresh CDS allocations.
+  ExecScratchPool pool;
+  const ExecResult cold = PartitionedExecute(
+      *engine, bq, ExecOptions{}, /*num_threads=*/1, /*granularity=*/8,
+      &pool);
+  EXPECT_EQ(cold.count, direct.count);
+  EXPECT_GT(cold.stats.cds_nodes_allocated, 0u);
+  EXPECT_GT(cold.stats.cds_nodes_recycled, 0u);  // jobs 2..8 reuse job 1's
+  const ExecResult warm = PartitionedExecute(
+      *engine, bq, ExecOptions{}, /*num_threads=*/1, /*granularity=*/8,
+      &pool);
+  EXPECT_EQ(warm.count, direct.count);
+  EXPECT_EQ(warm.stats.cds_nodes_allocated, 0u);
+  EXPECT_GT(warm.stats.cds_nodes_recycled, 0u);
 }
 
 TEST(PartitionedRunTest, CollectedTuplesAreCompleteAndSorted) {

@@ -190,6 +190,82 @@ TEST(StatsTest, CatalogPathMatchesLegacyForEveryEngine) {
   }
 }
 
+TEST(StatsTest, CdsArenaCountersEngagePerEngine) {
+  // The cds_* counters are a CDS property: every Minesweeper flavor
+  // must report arena traffic, every CDS-free engine must report zeros.
+  Graph g = Rmat(7, 400, 0.57, 0.19, 0.19, 13);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 5, 1);
+  rels.v2 = SampleNodes(g, 5, 2);
+  BoundQuery bq = ThreePath(rels);
+  for (const std::string& name : EngineNames()) {
+    const ExecResult r = CreateEngine(name)->Execute(bq, ExecOptions{});
+    const bool uses_cds = name.find("ms") != std::string::npos ||
+                          name == "hybrid";
+    if (uses_cds) {
+      EXPECT_GT(r.stats.cds_nodes_allocated, 0u) << name;
+      EXPECT_GT(r.stats.cds_peak_arena_bytes, 0u) << name;
+    } else {
+      EXPECT_EQ(r.stats.cds_nodes_allocated, 0u) << name;
+      EXPECT_EQ(r.stats.cds_nodes_recycled, 0u) << name;
+      EXPECT_EQ(r.stats.cds_peak_arena_bytes, 0u) << name;
+    }
+  }
+}
+
+TEST(StatsTest, WarmScratchRunPerformsZeroCdsHeapAllocation) {
+  // The PR 4 acceptance bar: re-running on a warm ExecScratch serves
+  // every CDS node from recycled arena memory — cds_nodes_allocated is
+  // exactly zero and the arena footprint stops growing.
+  Graph g = Rmat(7, 400, 0.57, 0.19, 0.19, 13);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 5, 1);
+  rels.v2 = SampleNodes(g, 5, 2);
+  BoundQuery bq = ThreePath(rels);
+  for (const char* name : {"ms", "#ms", "ms-noidea7"}) {
+    auto engine = CreateEngine(name);
+    ExecScratch scratch;
+    ExecOptions opts;
+    opts.scratch = &scratch;
+    const ExecResult cold = engine->Execute(bq, opts);
+    EXPECT_GT(cold.stats.cds_nodes_allocated, 0u) << name;
+    const ExecResult warm = engine->Execute(bq, opts);
+    EXPECT_EQ(warm.count, cold.count) << name;
+    EXPECT_EQ(warm.stats.cds_nodes_allocated, 0u) << name;
+    EXPECT_GT(warm.stats.cds_nodes_recycled, 0u) << name;
+    EXPECT_EQ(warm.stats.cds_peak_arena_bytes,
+              cold.stats.cds_peak_arena_bytes)
+        << name;
+  }
+}
+
+TEST(StatsTest, ScratchDoesNotChangeResultsOrWorkCounters) {
+  // The arena is storage only: with and without a scratch, every
+  // engine-visible behaviour (counts, seeks, inserts, free tuples) must
+  // be identical, cold and warm.
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  for (const char* name : {"ms", "ms-noidea7", "hybrid"}) {
+    auto engine = CreateEngine(name);
+    const ExecResult plain = engine->Execute(bq, ExecOptions{});
+    ExecScratch scratch;
+    ExecOptions opts;
+    opts.scratch = &scratch;
+    for (int run = 0; run < 2; ++run) {
+      const ExecResult r = engine->Execute(bq, opts);
+      EXPECT_EQ(r.count, plain.count) << name << " run=" << run;
+      EXPECT_EQ(r.stats.seeks, plain.stats.seeks) << name << " run=" << run;
+      EXPECT_EQ(r.stats.constraints_inserted,
+                plain.stats.constraints_inserted)
+          << name << " run=" << run;
+      EXPECT_EQ(r.stats.free_tuples, plain.stats.free_tuples)
+          << name << " run=" << run;
+    }
+  }
+}
+
 TEST(StatsTest, IndexCounterAccountingIsLayoutInvariant) {
   // Catalog behavior must be invariant under the index's internal
   // layout: for every registered engine, repeated cold runs report

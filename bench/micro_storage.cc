@@ -3,27 +3,35 @@
 // unary leapfrog intersection, CDS interval inserts, and the shared
 // IndexCatalog. These are the constants behind every table in the paper.
 //
-// After the registered benchmarks run, main() writes three
+// After the registered benchmarks run, main() writes four
 // machine-readable reports: BENCH_trie_layout.json (CSR layout vs the
 // pre-change row-major layout on deep skewed tries; see
 // EmitTrieLayoutReport), BENCH_index_catalog.json (cold-build vs
-// warm-catalog end-to-end query timings; see EmitCatalogReport), and
+// warm-catalog end-to-end query timings; see EmitCatalogReport),
 // BENCH_cds_arena.json (arena-backed CDS vs the pre-change pointer
 // implementation on insert/merge and ComputeFreeTuple-heavy workloads;
-// see EmitCdsArenaReport).
+// see EmitCdsArenaReport), and BENCH_morsel_sched.json (morsel-driven
+// work-stealing scheduling vs the pre-change static value-uniform
+// partitioner on skewed Rmat cells; see EmitMorselSchedReport).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/atom_index.h"
 #include "core/cds.h"
 #include "core/cds_arena.h"
 #include "core/engine.h"
 #include "core/leapfrog.h"
 #include "graph/generators.h"
+#include "parallel/job_pool.h"
+#include "parallel/partitioned_run.h"
+#include "parallel/worker_pool.h"
 #include "query/parser.h"
 #include "storage/catalog.h"
 #include "storage/trie.h"
@@ -885,6 +893,158 @@ void EmitCdsArenaReport(const char* path) {
   std::printf("wrote %s\n", path);
 }
 
+// --- Static vs morsel scheduling (BENCH_morsel_sched.json) ---
+
+// Faithful port of the pre-change §4.10 partitioner: num_threads *
+// granularity value-uniform var0 ranges (lo + span*p/parts boundaries)
+// pulled off JobPool's shared cursor, per-worker scratch. Kept here
+// only as the baseline the BENCH_morsel_sched.json speedups are
+// measured against. The node-id domains below are narrow, so the span
+// arithmetic that overflows on wide domains (fixed by the rank-based
+// splits in the live scheduler) cannot fire. Requires a pre-warmed
+// catalog — the report warms it before timing, as RunCell does.
+ExecResult StaticPartitionedExecute(const Engine& engine, const BoundQuery& q,
+                                    const ExecOptions& opts, int num_threads,
+                                    int granularity,
+                                    ExecScratchPool* scratch_pool) {
+  ExecResult total;
+  scratch_pool->Reserve(std::max(1, num_threads));
+  IndexCatalog* catalog = EffectiveCatalog(q, opts);
+  Value lo = kPosInf, hi = kNegInf;
+  for (const auto& atom : q.atoms) {
+    if (std::find(atom.vars.begin(), atom.vars.end(), 0) ==
+        atom.vars.end()) {
+      continue;
+    }
+    const TrieIndex* index =
+        catalog->GetOrBuild(*atom.relation, GaoConsistentPerm(atom.vars));
+    if (index->size() == 0) continue;
+    lo = std::min(lo, index->ColMin(0));
+    hi = std::max(hi, index->ColMax(0));
+  }
+  if (lo > hi) return total;
+  const int parts = std::max(1, num_threads * granularity);
+  const Value span = hi - lo + 1;
+  std::mutex mu;
+  std::vector<std::function<void(int)>> jobs;
+  for (int p = 0; p < parts; ++p) {
+    const Value a = lo + span * p / parts;
+    const Value b = lo + span * (p + 1) / parts - 1;
+    if (a > b) continue;
+    jobs.push_back([&, a, b](int worker) {
+      ExecOptions job_opts = opts;
+      job_opts.var0_min = a;
+      job_opts.var0_max = b;
+      job_opts.scratch = scratch_pool->ForWorker(worker);
+      ExecResult r = engine.Execute(q, job_opts);
+      std::lock_guard<std::mutex> lock(mu);
+      total.count += r.count;
+      total.timed_out |= r.timed_out;
+      total.stats.Add(r.stats);
+    });
+  }
+  JobPool(num_threads).Run(jobs);
+  return total;
+}
+
+struct MorselCell {
+  std::string engine;
+  std::string query;
+  uint64_t count = 0;
+  bool counts_equal = false;
+  double static_seconds = 0.0, morsel_seconds = 0.0;
+};
+
+// Skewed cell: the triangle on an Rmat graph whose hub vertices sit
+// at the low end of the id space, so
+// value-uniform slicing piles the work into the first partitions while
+// the quantile splits spread resident keys evenly and stealing mops up
+// the rest. Both schedulers run the same engine, catalog, threads, and
+// granularity; medians over kReps runs.
+void EmitMorselSchedReport(const char* path) {
+  constexpr int kReps = 3;
+  constexpr int kThreads = 8;
+  constexpr int kGranularity = 8;
+  Graph g = Rmat(/*scale=*/12, /*num_edges=*/120000, 0.57, 0.19, 0.19,
+                 /*seed=*/9);
+  Database db;
+  db.Put("edge", g.EdgeRelationSymmetric());
+  db.Put("edge_lt", g.EdgeRelationOriented());
+  const struct {
+    const char* name;
+    const char* text;
+    std::vector<std::string> gao;
+  } queries[] = {
+      {"3-clique-rmat", "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)",
+       {"a", "b", "c"}},
+  };
+  std::vector<MorselCell> cells;
+  WorkerPool pool(kThreads);  // persistent threads across all morsel runs
+  for (const auto& spec : queries) {
+    const BoundQuery bq = Bind(MustParseQuery(spec.text), db, spec.gao);
+    for (const char* engine_name : {"lftj", "ms"}) {
+      auto engine = CreateEngine(engine_name);
+      MorselCell cell;
+      cell.engine = engine_name;
+      cell.query = spec.name;
+      // Resident indexes before the clock starts: the report measures
+      // scheduling, not index builds.
+      WarmQueryIndexes(bq);
+      ExecScratchPool static_scratch, morsel_scratch;
+      uint64_t static_count = 0, morsel_count = 0;
+      std::vector<double> stat, morsel;
+      for (int rep = 0; rep < kReps; ++rep) {
+        {
+          Stopwatch w;
+          const ExecResult r = StaticPartitionedExecute(
+              *engine, bq, ExecOptions{}, kThreads, kGranularity,
+              &static_scratch);
+          stat.push_back(w.ElapsedSeconds());
+          static_count = r.count;
+        }
+        {
+          Stopwatch w;
+          const ExecResult r =
+              PartitionedExecute(*engine, bq, ExecOptions{}, kThreads,
+                                 kGranularity, &morsel_scratch, &pool);
+          morsel.push_back(w.ElapsedSeconds());
+          morsel_count = r.count;
+        }
+      }
+      cell.count = morsel_count;
+      cell.counts_equal = static_count == morsel_count;
+      cell.static_seconds = MedianSeconds(stat);
+      cell.morsel_seconds = MedianSeconds(morsel);
+      cells.push_back(cell);
+    }
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"morsel_sched\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n  \"granularity\": %d,\n", kThreads,
+               kGranularity);
+  std::fprintf(f, "  \"reps\": %d,\n  \"results\": [\n", kReps);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MorselCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"engine\": \"%s\", \"query\": \"%s\", "
+        "\"static_seconds\": %.6f, \"morsel_seconds\": %.6f, "
+        "\"speedup\": %.3f, \"count\": %llu, \"counts_equal\": %s}%s\n",
+        c.engine.c_str(), c.query.c_str(), c.static_seconds,
+        c.morsel_seconds,
+        c.morsel_seconds > 0 ? c.static_seconds / c.morsel_seconds : 0.0,
+        static_cast<unsigned long long>(c.count),
+        c.counts_equal ? "true" : "false", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace wcoj
 
@@ -896,5 +1056,6 @@ int main(int argc, char** argv) {
   wcoj::EmitTrieLayoutReport("BENCH_trie_layout.json");
   wcoj::EmitCatalogReport("BENCH_index_catalog.json");
   wcoj::EmitCdsArenaReport("BENCH_cds_arena.json");
+  wcoj::EmitMorselSchedReport("BENCH_morsel_sched.json");
   return 0;
 }

@@ -192,7 +192,8 @@ ExecResult CliqueEngine::Execute(const BoundQuery& q,
 
   uint64_t steps = 0;
   for (const auto& [u, v] : g.edges()) {
-    if (++steps % 1024 == 0 && opts.deadline.Expired()) {
+    if ((opts.stop != nullptr && opts.stop->stop_requested()) ||
+        (++steps % 1024 == 0 && opts.deadline.Expired())) {
       result.timed_out = true;
       return result;
     }

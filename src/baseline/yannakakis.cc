@@ -68,7 +68,7 @@ ExecResult YannakakisEngine::Execute(const BoundQuery& q,
         if (i == j) continue;
         changed |= Semijoin(q, &reduced[i], q.atoms[i].vars, reduced[j],
                             q.atoms[j].vars);
-        if (opts.deadline.Expired()) {
+        if (opts.Cancelled()) {
           result.timed_out = true;
           return result;
         }

@@ -24,6 +24,10 @@ class YannakakisEngine : public Engine {
   CatalogWarmup catalog_warmup() const override {
     return CatalogWarmup::kNone;
   }
+  // The semijoin program has no var0 hook: a range-restricted Execute
+  // still computes the full answer, so the morsel scheduler must not
+  // fan this engine out over var0 ranges.
+  bool honors_var0_range() const override { return false; }
 };
 
 }  // namespace wcoj

@@ -51,6 +51,7 @@ void Cds::Reconfigure(int num_vars, const Options& options) {
   num_vars_ = num_vars;
   options_ = options;
   deadline_ = nullptr;
+  stop_ = nullptr;
   Reset();
 }
 
@@ -198,8 +199,10 @@ bool Cds::ComputeFreeTuple() {
   depth_ = 0;
   std::vector<ChainNode>& chain = chain_;
   for (;;) {
-    if (deadline_ != nullptr && ++poll_counter_ % 4096 == 0 &&
-        deadline_->Expired()) {
+    if ((deadline_ != nullptr || stop_ != nullptr) &&
+        ++poll_counter_ % 4096 == 0 &&
+        ((deadline_ != nullptr && deadline_->Expired()) ||
+         (stop_ != nullptr && stop_->stop_requested()))) {
       timed_out_ = true;
       return false;
     }

@@ -93,6 +93,10 @@ class Cds {
   // between free tuples (the paper's "thrashing" cells), so the CDS itself
   // must be interruptible. `deadline` must outlive the Cds.
   void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
+  // Shared cooperative stop, polled on the same schedule as the
+  // deadline; null (the default) disables the check. `stop` must outlive
+  // the Cds or be cleared first.
+  void set_stop(const StopToken* stop) { stop_ = stop; }
   bool timed_out() const { return timed_out_; }
 
   // #Minesweeper (Idea 8): callable right after the engine verified and
@@ -156,6 +160,7 @@ class Cds {
   int num_vars_;
   Options options_;
   const Deadline* deadline_ = nullptr;
+  const StopToken* stop_ = nullptr;
   bool timed_out_ = false;
   uint64_t poll_counter_ = 0;
   uint64_t id_counter_ = 0;

@@ -117,6 +117,20 @@ struct ExecOptions {
   // Warm per-worker scratch; null means per-run private arenas. Must
   // outlive the execution and see at most one execution at a time.
   ExecScratch* scratch = nullptr;
+  // Shared cooperative stop: engines treat a requested stop exactly like
+  // an expired deadline (wind down at the next frontier boundary, report
+  // timed_out). The morsel scheduler hands every morsel the same token
+  // so one partition's timeout cancels the whole run; callers may
+  // install their own to cancel a run externally. Must outlive the
+  // execution. Engines only ever *read* it.
+  StopToken* stop = nullptr;
+
+  // True when this execution should wind down: requested stop or expired
+  // deadline. Engines poll the stop token every iteration (relaxed atomic
+  // load) but rate-limit the deadline's clock read themselves.
+  bool Cancelled() const {
+    return (stop != nullptr && stop->stop_requested()) || deadline.Expired();
+  }
 };
 
 // The catalog an execution should fetch indexes from, if any.
@@ -151,6 +165,12 @@ class Engine {
   virtual CatalogWarmup catalog_warmup() const {
     return CatalogWarmup::kGaoIndexes;
   }
+  // Whether Execute restricts its output to ExecOptions::var0_{min,max}.
+  // The morsel scheduler may only fan an engine out over var0 ranges
+  // when this holds — summing full-query counts once per morsel would
+  // silently multiply the answer. Engines that ignore the range
+  // (Yannakakis' semijoin program has no var0 hook) run as one morsel.
+  virtual bool honors_var0_range() const { return true; }
 };
 
 // Executes and fills result.seconds.

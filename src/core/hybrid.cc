@@ -124,13 +124,14 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
   // explicit). Only valid when we need counts, not tuples.
   std::unordered_map<Value, uint64_t> memo;
   for (const Tuple& p : prefix_result.tuples) {
-    if (opts.deadline.Expired()) {
+    if (opts.Cancelled()) {
       result.timed_out = true;
       break;
     }
     const Value j = p[s - 1];
     ExecOptions suffix_opts;
     suffix_opts.deadline = opts.deadline;
+    suffix_opts.stop = opts.stop;
     suffix_opts.collect_tuples = opts.collect_tuples;
     // The prefix Minesweeper above already ran on opts' scratch (the
     // option struct is forwarded wholesale); keep the suffix runs on the

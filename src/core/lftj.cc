@@ -58,7 +58,9 @@ class LftjRun {
 
  private:
   bool Expired() {
-    if (++steps_ % 4096 == 0 && opts_.deadline.Expired()) {
+    if (opts_.stop != nullptr && opts_.stop->stop_requested()) {
+      result_->timed_out = true;  // cancelled: result is incomplete
+    } else if (++steps_ % 4096 == 0 && opts_.deadline.Expired()) {
       result_->timed_out = true;
     }
     return result_->timed_out;

@@ -81,6 +81,7 @@ class MsRun {
     Cds& cds = *cds_ptr;
     const CdsArena* arena = &cds.arena();
     cds.set_deadline(&opts_.deadline);
+    cds.set_stop(opts_.stop);
     InsertDomainBounds(&cds);
     Tuple start(q_.num_vars, kFloor);
     if (opts_.var0_min != kNegInf) start[0] = opts_.var0_min;
@@ -92,7 +93,8 @@ class MsRun {
     Tuple advance(q_.num_vars);
 
     while (cds.ComputeFreeTuple()) {
-      if (++iters % 256 == 0 && opts_.deadline.Expired()) {
+      if ((opts_.stop != nullptr && opts_.stop->stop_requested()) ||
+          (++iters % 256 == 0 && opts_.deadline.Expired())) {
         result_->timed_out = true;
         break;
       }

@@ -2,26 +2,92 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/atom_index.h"
 #include "parallel/job_pool.h"
+#include "storage/trie.h"
 
 namespace wcoj {
+
+namespace {
+
+// Key of a distinct warm-up build job. Hashed: the old first-occurrence
+// linear scan compared full permutation vectors pairwise, O(atoms^2)
+// vector compares per query.
+struct WarmKey {
+  const Relation* relation;
+  std::vector<int> perm;
+  bool operator==(const WarmKey& o) const {
+    return relation == o.relation && perm == o.perm;
+  }
+};
+
+struct WarmKeyHash {
+  size_t operator()(const WarmKey& k) const {
+    size_t h = std::hash<const void*>()(k.relation);
+    for (int c : k.perm) {
+      h = h * 1000003u + static_cast<size_t>(c) + 0x9e3779b9u;
+    }
+    return h;
+  }
+};
+
+// Quantile boundaries over a sorted (duplicates kept) value sequence:
+// at most parts-1 strictly increasing values cutting the sequence into
+// roughly equal-population ranges. The cold-path analogue of
+// TrieIndex::SplitPoints — duplicates in the scan stand in for the
+// subtree-breadth weights the trie stores explicitly.
+std::vector<Value> QuantileSplits(const std::vector<Value>& sorted,
+                                  int parts) {
+  std::vector<Value> splits;
+  const size_t n = sorted.size();
+  if (parts <= 1 || n == 0) return splits;
+  for (int j = 1; j < parts; ++j) {
+    const size_t rank = n * static_cast<size_t>(j) / parts;
+    if (rank == 0 || rank >= n) continue;
+    const Value v = sorted[rank - 1];
+    if (v == sorted.back()) break;  // tail range must stay non-degenerate
+    if (splits.empty() || splits.back() < v) splits.push_back(v);
+  }
+  return splits;
+}
+
+// Inclusive [a, b] morsel ranges covering [lo, hi], cut at the given
+// strictly increasing split values. Boundaries are actual domain
+// values, never derived from span arithmetic — a domain spanning the
+// whole int64 range produces no overflow.
+std::vector<std::pair<Value, Value>> MorselRanges(
+    Value lo, Value hi, const std::vector<Value>& splits) {
+  std::vector<std::pair<Value, Value>> ranges;
+  Value a = lo;
+  for (const Value s : splits) {
+    if (s < a || s >= hi) continue;  // clamp into (a, hi)
+    ranges.emplace_back(a, s);
+    a = s + 1;  // s < hi, so no wraparound
+  }
+  ranges.emplace_back(a, hi);
+  return ranges;
+}
+
+}  // namespace
 
 EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads) {
   EngineStats stats;
   if (q.catalog == nullptr) return stats;
-  // Distinct (relation, permutation) keys, in first-occurrence order.
-  std::vector<std::pair<const Relation*, std::vector<int>>> keys;
+  // Distinct (relation, permutation) keys; the map owns each key once,
+  // `keys` preserves node-stable pointers for the build jobs.
+  std::unordered_map<WarmKey, size_t, WarmKeyHash> key_ids;
+  std::vector<const WarmKey*> keys;
   std::vector<size_t> atom_key(q.atoms.size());
   for (size_t a = 0; a < q.atoms.size(); ++a) {
-    std::pair<const Relation*, std::vector<int>> key = {
-        q.atoms[a].relation, GaoConsistentPerm(q.atoms[a].vars)};
-    size_t k = 0;
-    while (k < keys.size() && keys[k] != key) ++k;
-    if (k == keys.size()) keys.push_back(std::move(key));
-    atom_key[a] = k;
+    WarmKey key{q.atoms[a].relation, GaoConsistentPerm(q.atoms[a].vars)};
+    auto [it, inserted] = key_ids.emplace(std::move(key), keys.size());
+    if (inserted) keys.push_back(&it->first);
+    atom_key[a] = it->second;
   }
   // One build job per distinct key; the catalog serializes same-key
   // racers internally, so distinct keys are the real parallelism.
@@ -31,7 +97,7 @@ EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads) {
   for (size_t k = 0; k < keys.size(); ++k) {
     jobs.push_back([&, k]() {
       bool b = false;
-      q.catalog->GetOrBuild(*keys[k].first, keys[k].second, &b);
+      q.catalog->GetOrBuild(*keys[k]->relation, keys[k]->perm, &b);
       built[k] = b ? 1 : 0;
     });
   }
@@ -55,14 +121,30 @@ EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads) {
 ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
                               const ExecOptions& opts, int num_threads,
                               int granularity,
-                              ExecScratchPool* scratch_pool) {
+                              ExecScratchPool* scratch_pool,
+                              WorkerPool* worker_pool) {
   ExecResult total;
+  // A caller-provided pool dictates the worker count (its deques and
+  // scratch slots are per-worker). A per-call pool is only constructed
+  // after the early-outs below, once the batch size is known, so
+  // degenerate runs never pay a thread spawn.
+  const int threads =
+      worker_pool != nullptr ? worker_pool->num_threads()
+                             : std::max(1, num_threads);
   // One scratch per worker, sized before any job can race ForWorker. A
   // caller-owned pool stays warm across PartitionedExecute calls; the
   // local fallback at least keeps jobs within this call warm per worker.
-  ExecScratchPool local_pool;
-  if (scratch_pool == nullptr) scratch_pool = &local_pool;
-  scratch_pool->Reserve(std::max(1, num_threads));
+  ExecScratchPool local_scratch_pool;
+  if (scratch_pool == nullptr) scratch_pool = &local_scratch_pool;
+  scratch_pool->Reserve(std::max(1, threads));
+  // An engine that ignores var0 ranges would compute the full answer
+  // once per morsel and the merge would multiply it: run it as one
+  // morsel on the calling thread instead.
+  if (!engine.honors_var0_range()) {
+    ExecOptions job_opts = opts;
+    job_opts.scratch = scratch_pool->ForWorker(0);
+    return engine.Execute(q, job_opts);
+  }
   IndexCatalog* catalog = EffectiveCatalog(q, opts);
   // GAO indexes are only pre-built (and only read for domain metadata
   // below) for engines that actually consume them; for the others the
@@ -71,20 +153,27 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       catalog != nullptr &&
       engine.catalog_warmup() == CatalogWarmup::kGaoIndexes;
   if (use_gao_indexes) {
-    // Warm the shared catalog once, before any job runs: every partition
+    // Warm the shared catalog once, before any job runs: every morsel
     // then executes over the same resident indexes, so the whole run
     // performs one build per distinct (relation, permutation) pair no
-    // matter how many partitions there are. Distinct indexes build
+    // matter how many morsels there are. Distinct indexes build
     // concurrently across the job pool instead of serially.
     BoundQuery warm_q = q;
     warm_q.catalog = catalog;
-    total.stats.Add(WarmQueryIndexesParallel(warm_q, num_threads));
+    total.stats.Add(WarmQueryIndexesParallel(warm_q, threads));
   }
 
-  // Domain of the first GAO variable: union over atoms containing it.
-  // Warm path: read the resident indexes' column metadata (var 0 is the
-  // GAO minimum, so it is trie column 0 of every atom that binds it).
+  // Domain of the first GAO variable (union over atoms containing it)
+  // plus the skew pilot: the resident var0-binding index with the most
+  // level-0 keys, whose CSR key array drives split-point selection. The
+  // largest key population is where a value-uniform split would
+  // concentrate work, so it is the distribution worth tracking.
   Value lo = kPosInf, hi = kNegInf;
+  const TrieIndex* pilot = nullptr;
+  std::vector<Value> scanned;  // cold path: var0 occurrences, unsorted
+  // Cold-path scan dedup: repeated atoms over one relation (a triangle
+  // binds edge_lt's column 0 twice) must contribute their values once.
+  std::vector<std::pair<const Relation*, int>> scanned_cols;
   for (const auto& atom : q.atoms) {
     const bool has_var0 =
         std::find(atom.vars.begin(), atom.vars.end(), 0) != atom.vars.end();
@@ -98,13 +187,25 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       if (index->size() == 0) continue;
       lo = std::min(lo, index->ColMin(0));
       hi = std::max(hi, index->ColMax(0));
+      if (pilot == nullptr || index->LevelSize(0) > pilot->LevelSize(0)) {
+        pilot = index;
+      }
       continue;
     }
     for (size_t c = 0; c < atom.vars.size(); ++c) {
       if (atom.vars[c] != 0) continue;
+      const std::pair<const Relation*, int> col{atom.relation,
+                                                static_cast<int>(c)};
+      if (std::find(scanned_cols.begin(), scanned_cols.end(), col) !=
+          scanned_cols.end()) {
+        continue;
+      }
+      scanned_cols.push_back(col);
       for (size_t r = 0; r < atom.relation->size(); ++r) {
-        lo = std::min(lo, atom.relation->At(r, static_cast<int>(c)));
-        hi = std::max(hi, atom.relation->At(r, static_cast<int>(c)));
+        const Value v = atom.relation->At(r, static_cast<int>(c));
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        scanned.push_back(v);
       }
     }
   }
@@ -115,20 +216,51 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
   hi = std::min(hi, opts.var0_max);
   if (lo > hi) return total;
 
-  const int parts = std::max(1, num_threads * granularity);
-  const Value span = hi - lo + 1;
+  // Rank-based morsel boundaries: quantiles over resident keys (warm
+  // path, subtree-breadth weighted) or over the scanned occurrences
+  // (cold path, duplicates = weight). Splits outside [lo, hi] are
+  // dropped by MorselRanges, so a var0-restricted call simply gets
+  // fewer, still balanced, morsels.
+  const int parts = std::max(1, threads * granularity);
+  std::vector<Value> splits;
+  if (pilot != nullptr) {
+    splits = pilot->SplitPoints(parts);
+  } else if (!scanned.empty()) {
+    std::sort(scanned.begin(), scanned.end());
+    splits = QuantileSplits(scanned, parts);
+  }
+  const std::vector<std::pair<Value, Value>> ranges =
+      MorselRanges(lo, hi, splits);
+
+  // Run-scoped cooperative stop, chained to the caller's token: every
+  // morsel polls it, so an external cancel reaches running engines at
+  // frontier granularity, while the first timed-out morsel requests
+  // only the *run's* token — queued morsels skip and running engines
+  // wind down, but the caller's reset-less token stays clean for its
+  // next run.
+  StopToken run_stop(opts.stop);
+  StopToken* stop = &run_stop;
+
   std::mutex mu;
   std::vector<std::function<void(int)>> jobs;
-  for (int p = 0; p < parts; ++p) {
-    const Value a = lo + span * p / parts;
-    const Value b = lo + span * (p + 1) / parts - 1;
-    if (a > b) continue;
-    jobs.push_back([&, a, b](int worker) {
+  jobs.reserve(ranges.size());
+  for (const auto& [a, b] : ranges) {
+    jobs.push_back([&, a = a, b = b](int worker) {
+      if (stop->stop_requested() || opts.deadline.Expired()) {
+        // Cancelled before this morsel ran: its share of the output is
+        // missing, so the merged result must read timed_out.
+        stop->RequestStop();
+        std::lock_guard<std::mutex> lock(mu);
+        total.timed_out = true;
+        return;
+      }
       ExecOptions job_opts = opts;
       job_opts.var0_min = a;
       job_opts.var0_max = b;
+      job_opts.stop = stop;
       job_opts.scratch = scratch_pool->ForWorker(worker);
       ExecResult r = engine.Execute(q, job_opts);
+      if (r.timed_out) stop->RequestStop();
       std::lock_guard<std::mutex> lock(mu);
       total.count += r.count;
       total.timed_out |= r.timed_out;
@@ -139,7 +271,16 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       }
     });
   }
-  JobPool(num_threads).Run(jobs);
+  // The per-call pool never holds more threads than there are morsels;
+  // a single-morsel batch runs inline either way.
+  std::optional<WorkerPool> local_pool;
+  WorkerPool* pool = worker_pool;
+  if (pool == nullptr) {
+    local_pool.emplace(
+        std::min(threads, static_cast<int>(jobs.size())));
+    pool = &*local_pool;
+  }
+  pool->Run(jobs);
   if (opts.collect_tuples) {
     std::sort(total.tuples.begin(), total.tuples.end());
   }

@@ -1,11 +1,38 @@
 #ifndef WCOJ_PARALLEL_PARTITIONED_RUN_H_
 #define WCOJ_PARALLEL_PARTITIONED_RUN_H_
 
-// Output-space partitioning (§4.10): the first GAO variable's domain is
-// split into num_threads * granularity equal-width ranges; each range is a
-// job restricting the engine via ExecOptions::var0_{min,max}. Granularity
-// > 1 provides work stealing slack for skewed (cyclic) queries — the
-// paper uses f=1 for acyclic and f=8 for cyclic queries.
+// Morsel-driven output-space partitioning (§4.10, scheduled HyPer-style).
+//
+// The first GAO variable's domain is split into num_threads * granularity
+// morsels; each morsel is a job restricting the engine via
+// ExecOptions::var0_{min,max}. Unlike the old value-uniform slicing
+// (lo + span*p/parts — empty morsels on skewed data, one hub morsel
+// owning the work, and signed overflow on wide domains), boundaries are
+// *rank-based*: the pilot index's level-0 CSR key array is cut at
+// subtree-breadth quantiles (TrieIndex::SplitPoints), so each morsel
+// covers an equal share of resident keys weighted by fanout. Engines
+// without resident tries get the same treatment over a sorted scan of
+// the var0 columns (duplicates kept — they are the weights). Boundaries
+// are actual domain values, so no span arithmetic can overflow.
+//
+// Morsels run on a work-stealing WorkerPool (persistent threads,
+// per-worker deques, steal-half); pass `worker_pool` to reuse one
+// pool's threads across many queries, else a per-call pool is used.
+// A supplied pool's own thread count wins — `num_threads` is ignored
+// (worker ids, deques, and scratch slots are per-pool-worker), so cap
+// concurrency by sizing the pool, not the argument.
+//
+// Cancellation: every morsel polls one run-scoped StopToken, chained
+// to the caller's ExecOptions::stop when set. A morsel that times out
+// — or an expired deadline observed at a morsel boundary — requests
+// the run's stop, queued morsels are skipped, and running engines wind
+// down at their next frontier check, so the whole run reports
+// timed_out promptly instead of grinding through the remaining ranges;
+// the caller's own token is observed but never written.
+//
+// Engines that ignore ExecOptions::var0_{min,max} (see
+// Engine::honors_var0_range) execute as a single morsel — fanning them
+// out would multiply the answer by the morsel count.
 //
 // Every worker owns an ExecScratch: the first job a worker runs builds
 // its CDS arena, every subsequent job on that worker reuses the warm
@@ -15,13 +42,15 @@
 // cannot be shared by concurrent jobs).
 
 #include "core/engine.h"
+#include "parallel/worker_pool.h"
 
 namespace wcoj {
 
 ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
                               const ExecOptions& opts, int num_threads,
                               int granularity,
-                              ExecScratchPool* scratch_pool = nullptr);
+                              ExecScratchPool* scratch_pool = nullptr,
+                              WorkerPool* worker_pool = nullptr);
 
 // Parallel flavor of WarmQueryIndexes (core/atom_index.h): builds the
 // GAO-consistent index of every atom of `q` in its catalog, one JobPool

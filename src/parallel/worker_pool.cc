@@ -1,0 +1,167 @@
+#include "parallel/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace wcoj {
+
+WorkerPool::WorkerPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  deques_.reserve(num_threads_);
+  for (int w = 0; w < num_threads_; ++w) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  if (num_threads_ == 1) return;  // inline-only pool: no threads to park
+  threads_.reserve(num_threads_);
+  for (int w = 0; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::Run(const std::vector<std::function<void(int)>>& jobs) {
+  RunBatch(jobs.size(), [&jobs](size_t i, int w) { jobs[i](w); });
+}
+
+void WorkerPool::Run(const std::vector<std::function<void()>>& jobs) {
+  RunBatch(jobs.size(), [&jobs](size_t i, int) { jobs[i](); });
+}
+
+void WorkerPool::RunBatch(size_t count,
+                          const std::function<void(size_t, int)>& invoke) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    // Degenerate batch: run inline, in order, on the calling thread.
+    for (size_t i = 0; i < count; ++i) invoke(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Deal contiguous index runs: morsel i and i+1 cover adjacent var0
+    // ranges, so a worker's initial share is one coherent slice of the
+    // key space and steal-half migrates coherent tails.
+    for (int w = 0; w < num_threads_; ++w) {
+      const size_t lo = count * static_cast<size_t>(w) / num_threads_;
+      const size_t hi = count * (static_cast<size_t>(w) + 1) / num_threads_;
+      std::lock_guard<std::mutex> dlock(deques_[w]->mu);
+      deques_[w]->jobs.clear();
+      for (size_t i = lo; i < hi; ++i) deques_[w]->jobs.push_back(i);
+    }
+    batch_ = &invoke;
+    pending_.store(count, std::memory_order_release);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0 &&
+           active_workers_ == 0;
+  });
+  batch_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int w) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t, int)>* batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;
+      // A late wake for a batch other workers already drained (Run()
+      // has cleared batch_ and may be gone): there is nothing safe to
+      // pop — a job found in our deque now could belong to the *next*
+      // batch, whose distribution does not wait for parked workers.
+      // Park again; a live batch re-notifies after bumping generation_.
+      if (batch == nullptr) continue;
+      ++active_workers_;
+    }
+    for (;;) {
+      size_t job;
+      if (PopOwn(w, &job) || StealHalf(w, &job)) {
+        (*batch)(job, w);
+        FinishJob();
+        continue;
+      }
+      if (pending_.load(std::memory_order_acquire) == 0) break;
+      // Nothing stealable, but jobs are still in flight elsewhere.
+      // The timeout is load-bearing, not belt-and-braces: the steal
+      // scan above runs without mu_, so a surplus deposited (and
+      // notified) between our failed scan and the wait below is a
+      // missed wakeup — the timeout bounds that stall. 50ms keeps the
+      // idle churn negligible on oversubscribed hosts.
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_.load(std::memory_order_acquire) == 0) break;
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::FinishJob() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last job of the batch: release the Run() caller and every parked
+    // idle worker. Lock so the notify cannot race the waiters'
+    // predicate checks.
+    std::lock_guard<std::mutex> lock(mu_);
+    done_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+}
+
+bool WorkerPool::PopOwn(int w, size_t* job) {
+  WorkerDeque& d = *deques_[w];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.jobs.empty()) return false;
+  *job = d.jobs.front();
+  d.jobs.pop_front();
+  return true;
+}
+
+bool WorkerPool::StealHalf(int w, size_t* job) {
+  for (int delta = 1; delta < num_threads_; ++delta) {
+    const int v = (w + delta) % num_threads_;
+    WorkerDeque& victim = *deques_[v];
+    std::vector<size_t> grabbed;
+    {
+      std::lock_guard<std::mutex> vlock(victim.mu);
+      const size_t n = victim.jobs.size();
+      if (n == 0) continue;
+      const size_t take = (n + 1) / 2;
+      grabbed.assign(victim.jobs.end() - static_cast<long>(take),
+                     victim.jobs.end());
+      victim.jobs.erase(victim.jobs.end() - static_cast<long>(take),
+                        victim.jobs.end());
+    }
+    *job = grabbed.front();
+    if (grabbed.size() > 1) {
+      {
+        std::lock_guard<std::mutex> olock(deques_[w]->mu);
+        deques_[w]->jobs.assign(grabbed.begin() + 1, grabbed.end());
+      }
+      // Surplus is now stealable from us. Lock so the notify cannot
+      // slip between an idle worker's last failed scan and its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      idle_cv_.notify_all();
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wcoj

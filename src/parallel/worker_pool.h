@@ -1,0 +1,89 @@
+#ifndef WCOJ_PARALLEL_WORKER_POOL_H_
+#define WCOJ_PARALLEL_WORKER_POOL_H_
+
+// Persistent work-stealing worker pool — the morsel scheduler's engine
+// room. Unlike JobPool (which spawns threads per Run and pulls jobs off
+// one shared cursor), a WorkerPool keeps its threads alive across Run
+// calls, parked on a condition variable between batches, so repeated
+// partitioned queries pay zero thread spawn/join cost; and each worker
+// owns a deque of job indices, so a batch's morsels start out dealt in
+// contiguous runs (adjacent var0 ranges stay on one worker — index
+// locality) and only migrate when a worker actually runs dry.
+//
+// Stealing policy: an idle worker scans the other deques and takes the
+// *back half* of the first non-empty one it finds (steal-half). Taking
+// half amortizes the deque locks over many morsels when skew
+// concentrates work, and taking the back leaves the victim the morsels
+// it was about to run. Owners pop from the front, preserving morsel
+// order within a worker.
+//
+// Degenerate batches (num_threads == 1, or a single job) run inline on
+// the calling thread in submission order — bit-for-bit the schedule of
+// a serial loop, no wakeup. This mirrors JobPool's contract, so
+// single-threaded partitioned runs stay deterministic.
+//
+// Run() is not re-entrant and must not be called concurrently; the pool
+// is reusable, not shareable.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wcoj {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Runs all jobs; returns when every job has finished exactly once.
+  // The worker-indexed flavor hands each job the id (in [0,
+  // num_threads())) of the worker executing it, for per-worker state
+  // like ExecScratch. Inline execution uses worker 0.
+  void Run(const std::vector<std::function<void(int)>>& jobs);
+  void Run(const std::vector<std::function<void()>>& jobs);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  // One mutex-guarded deque of batch job indices per worker. A morsel
+  // is an engine execution (milliseconds), so a plain lock beats the
+  // complexity of a lock-free deque here.
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<size_t> jobs;
+  };
+
+  void RunBatch(size_t count, const std::function<void(size_t, int)>& invoke);
+  void WorkerLoop(int w);
+  bool PopOwn(int w, size_t* job);
+  bool StealHalf(int w, size_t* job);
+  void FinishJob();
+
+  const int num_threads_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> threads_;
+
+  // Batch state, guarded by mu_ except where noted.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new batch or shutdown
+  std::condition_variable idle_cv_;  // workers: stolen surplus or batch end
+  std::condition_variable done_cv_;  // Run(): batch fully drained
+  const std::function<void(size_t, int)>* batch_ = nullptr;
+  uint64_t generation_ = 0;
+  int active_workers_ = 0;
+  bool shutdown_ = false;
+  std::atomic<size_t> pending_{0};  // jobs not yet finished
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_PARALLEL_WORKER_POOL_H_

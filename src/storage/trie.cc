@@ -122,6 +122,32 @@ void TrieIndex::EnsureColStats() const {
   });
 }
 
+std::vector<Value> TrieIndex::SplitPoints(int k) const {
+  std::vector<Value> splits;
+  if (k <= 1 || rows_ == 0) return splits;
+  const std::vector<Value>& keys = levels_[0].keys;
+  const std::vector<Offset>* child =
+      arity() > 1 ? &levels_[0].child : nullptr;
+  const size_t n = keys.size();
+  const uint64_t total = child != nullptr ? (*child)[n] : n;
+  // One pass accumulating weight; key i becomes a split point when the
+  // cumulative weight first reaches the next quantile target. total and
+  // k both fit comfortably below 2^32, so total * j stays in uint64.
+  uint64_t cum = 0;
+  uint64_t j = 1;
+  const uint64_t parts = static_cast<uint64_t>(k);
+  for (size_t i = 0; i + 1 < n && j < parts; ++i) {
+    cum += child != nullptr ? (*child)[i + 1] - (*child)[i] : 1;
+    if (cum * parts >= total * j) {
+      splits.push_back(keys[i]);
+      // A hub key can swallow several quantiles; emit it once and skip
+      // every target it already satisfies.
+      while (j < parts && cum * parts >= total * j) ++j;
+    }
+  }
+  return splits;
+}
+
 size_t TrieIndex::LowerBound(int depth, size_t lo, size_t hi, Value v) const {
   return GallopKeys(levels_[depth].keys.data(), lo, hi, v, /*upper=*/false);
 }

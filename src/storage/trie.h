@@ -87,6 +87,18 @@ class TrieIndex {
     return col_max_[col];
   }
 
+  // Skew-aware quantile split points over the level-0 key array, for
+  // the morsel scheduler's var0 range selection. Returns at most k-1
+  // strictly increasing resident values s_1 < ... < s_m such that the
+  // k ranges (-inf, s_1], (s_1, s_2], ..., (s_m, +inf) carry roughly
+  // equal weight, where a key's weight is its direct child count (its
+  // subtree breadth) for arity > 1 and 1 for unary tries. On power-law
+  // data the breadth weighting keeps hub keys from leaving one range
+  // with most of the tuples, which plain key-count quantiles would.
+  // Fewer than k-1 values come back when one key alone swallows several
+  // quantiles (an extreme hub) or the level has fewer keys than ranges.
+  std::vector<Value> SplitPoints(int k) const;
+
   struct GapProbe {
     bool found = false;  // the whole tuple is present
     int fail_pos = 0;    // first trie depth where the prefix left the index

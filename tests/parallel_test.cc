@@ -1,17 +1,23 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <thread>
 
 #include "bench_util/workloads.h"
+#include "core/atom_index.h"
 #include "storage/catalog.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/sampling.h"
 #include "parallel/job_pool.h"
 #include "parallel/partitioned_run.h"
+#include "parallel/worker_pool.h"
 #include "query/parser.h"
+#include "storage/trie.h"
 #include "tests/test_util.h"
+#include "util/stopwatch.h"
 
 namespace wcoj {
 namespace {
@@ -80,6 +86,64 @@ TEST(JobPoolTest, WorkerIndexedJobsSeeValidWorkerIds) {
       [&](int worker) { worker_sum = worker; }};
   JobPool(kThreads).Run(one);
   EXPECT_EQ(worker_sum.load(), 0);
+}
+
+// --- WorkerPool: persistent threads, per-worker deques, steal-half ---
+
+// Steal correctness under load: every job of every batch runs exactly
+// once, across several batches reusing one pool's threads, with uneven
+// job durations so work actually migrates between deques.
+TEST(WorkerPoolTest, StressEveryJobRunsExactlyOncePerBatch) {
+  constexpr int kThreads = 8;
+  constexpr int kJobs = 400;
+  constexpr int kBatches = 5;
+  WorkerPool pool(kThreads);
+  EXPECT_EQ(pool.num_threads(), kThreads);
+  for (int batch = 0; batch < kBatches; ++batch) {
+    std::vector<std::atomic<int>> hits(kJobs);
+    for (auto& h : hits) h = 0;
+    std::atomic<int> bad_worker{0};
+    std::vector<std::function<void(int)>> jobs;
+    jobs.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      jobs.push_back([&, i](int worker) {
+        if (worker < 0 || worker >= kThreads) ++bad_worker;
+        // Skew the initial deal: the first worker's contiguous share is
+        // slow, so the other workers must steal it to finish.
+        if (i < kJobs / kThreads) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        ++hits[i];
+      });
+    }
+    pool.Run(jobs);
+    EXPECT_EQ(bad_worker.load(), 0) << "batch " << batch;
+    for (int i = 0; i < kJobs; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "batch " << batch << " job " << i;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, DegenerateBatchesRunInlineInOrder) {
+  const std::thread::id caller = std::this_thread::get_id();
+  // num_threads == 1: serial, on the calling thread, in order.
+  WorkerPool serial(1);
+  std::vector<int> order;
+  std::vector<std::thread::id> seen;
+  serial.Run(std::vector<std::function<void()>>{
+      [&]() { order.push_back(0); seen.push_back(std::this_thread::get_id()); },
+      [&]() { order.push_back(1); seen.push_back(std::this_thread::get_id()); },
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(seen[0], caller);
+  EXPECT_EQ(seen[1], caller);
+  // A single job runs inline even on a threaded pool, as worker 0.
+  WorkerPool threaded(4);
+  std::atomic<int> worker_seen{-1};
+  threaded.Run(std::vector<std::function<void(int)>>{
+      [&](int w) { worker_seen = w; }});
+  EXPECT_EQ(worker_seen.load(), 0);
+  threaded.Run(std::vector<std::function<void()>>{});  // empty batch: no-op
 }
 
 // Partitioned execution must produce identical counts to a direct run for
@@ -287,6 +351,222 @@ TEST(PartitionedRunTest, CollectedTuplesAreCompleteAndSorted) {
   ExecResult split = PartitionedExecute(*engine, bq, opts, 2, 4);
   std::sort(direct.tuples.begin(), direct.tuples.end());
   EXPECT_EQ(split.tuples, direct.tuples);
+}
+
+// Regression: the old static partitioner computed boundaries as
+// lo + span * (p + 1) / parts with span = hi - lo + 1, which overflows
+// signed 64-bit the moment a relation's var0 domain spans most of the
+// Value range — partitions went missing and counts came back wrong.
+// Rank-based morsel boundaries are actual domain values, so extreme
+// domains must count exactly, warm (catalog quantiles) and cold
+// (scan quantiles).
+TEST(PartitionedRunTest, ExtremeDomainsDoNotOverflowPartitionMath) {
+  constexpr Value kLo = std::numeric_limits<Value>::min() + 2;
+  constexpr Value kHi = std::numeric_limits<Value>::max() - 2;
+  Relation edge(2);
+  for (Value v : {kLo, kLo + 1, kLo + 7, Value{-3}, Value{0}, Value{5},
+                  Value{999}, kHi - 9, kHi - 1, kHi}) {
+    edge.Add({v, v});
+    edge.Add({v, Value{1}});
+  }
+  edge.Build();
+  Query q = MustParseQuery("edge(a,b)");
+  BoundQuery bq = Bind(q, {{"edge", &edge}}, {"a", "b"});
+  auto engine = CreateEngine("lftj");
+  const ExecResult direct = engine->Execute(bq, ExecOptions{});
+  ASSERT_EQ(direct.count, edge.size());
+  // Cold path: no catalog, boundaries from the sorted column scan.
+  const ExecResult cold =
+      PartitionedExecute(*engine, bq, ExecOptions{}, /*num_threads=*/3,
+                         /*granularity=*/8);
+  EXPECT_EQ(cold.count, direct.count);
+  // Warm path: boundaries from TrieIndex::SplitPoints on the catalog
+  // index.
+  IndexCatalog catalog;
+  bq.catalog = &catalog;
+  const ExecResult warm =
+      PartitionedExecute(*engine, bq, ExecOptions{}, /*num_threads=*/3,
+                         /*granularity=*/8);
+  EXPECT_EQ(warm.count, direct.count);
+}
+
+// Regression: PartitionedExecute used to keep grinding through every
+// remaining partition after one reported timed_out. Now the first
+// timed-out morsel flips the shared stop token: queued morsels skip,
+// running engines wind down at their next frontier check, and the whole
+// deadline run finishes promptly.
+TEST(PartitionedRunTest, TimeoutCancelsRemainingMorselsPromptly) {
+  Graph g = Rmat(11, 60000, 0.57, 0.19, 0.19, 3);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery(
+      "edge(a,b), edge(b,c), edge(c,d), edge(d,e)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d", "e"});
+  IndexCatalog catalog;
+  bq.catalog = &catalog;
+  auto engine = CreateEngine("lftj");
+  // Make the indexes resident first so the timed region is pure
+  // execution, then give the run a deadline far below its full cost
+  // (the 4-path on 60k skewed edges runs for many seconds).
+  WarmQueryIndexes(bq);
+  ExecOptions opts;
+  opts.deadline = Deadline::AfterSeconds(0.02);
+  Stopwatch watch;
+  const ExecResult r =
+      PartitionedExecute(*engine, bq, opts, /*num_threads=*/2,
+                         /*granularity=*/8);
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_TRUE(r.timed_out);
+  // Generous bound for slow CI: the point is seconds-not-minutes — the
+  // deadline is 20ms, and without propagation the run takes the query's
+  // full multi-second cost.
+  EXPECT_LT(elapsed, 2.0);
+}
+
+// An externally pre-stopped token cancels before any morsel runs: no
+// partial counts leak and the result reads timed_out.
+TEST(PartitionedRunTest, ExternalStopTokenSkipsAllMorsels) {
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  auto engine = CreateEngine("ms");
+  StopToken stop;
+  stop.RequestStop();
+  ExecOptions opts;
+  opts.stop = &stop;
+  const ExecResult r =
+      PartitionedExecute(*engine, bq, opts, /*num_threads=*/3,
+                         /*granularity=*/4);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.count, 0u);
+}
+
+// An engine that ignores var0 ranges (Yannakakis' semijoin program)
+// must run as a single morsel: fanning it out would sum the full
+// answer once per range.
+TEST(PartitionedRunTest, RangeBlindEnginesRunAsOneMorsel) {
+  Graph g = ErdosRenyi(60, 200, 12);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge(a,b), edge(b,c), edge(c,d)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d"});
+  auto engine = CreateEngine("yannakakis");
+  ASSERT_FALSE(engine->honors_var0_range());
+  const ExecResult direct = engine->Execute(bq, ExecOptions{});
+  ASSERT_GT(direct.count, 0u);
+  const ExecResult split =
+      PartitionedExecute(*engine, bq, ExecOptions{}, /*num_threads=*/3,
+                         /*granularity=*/8);
+  EXPECT_EQ(split.count, direct.count);
+}
+
+// An internal timeout must propagate through the *run's* token only:
+// the caller's reset-less token stays clean for its next run.
+TEST(PartitionedRunTest, InternalTimeoutDoesNotPoisonCallerToken) {
+  Graph g = Rmat(11, 60000, 0.57, 0.19, 0.19, 3);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge(a,b), edge(b,c), edge(c,d), edge(d,e)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d", "e"});
+  IndexCatalog catalog;
+  bq.catalog = &catalog;
+  auto engine = CreateEngine("lftj");
+  WarmQueryIndexes(bq);
+  StopToken caller_token;
+  ExecOptions opts;
+  opts.stop = &caller_token;
+  opts.deadline = Deadline::AfterSeconds(0.01);
+  const ExecResult r =
+      PartitionedExecute(*engine, bq, opts, /*num_threads=*/2,
+                         /*granularity=*/4);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(caller_token.stop_requested());
+}
+
+// Every registered engine honors a pre-stopped token: it winds down at
+// its first frontier boundary and reports timed_out, the contract the
+// morsel scheduler's cross-partition cancellation relies on.
+TEST(StopTokenTest, EveryEngineHonorsARequestedStop) {
+  Graph g = Rmat(8, 900, 0.57, 0.19, 0.19, 13);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  StopToken stop;
+  stop.RequestStop();
+  ExecOptions opts;
+  opts.stop = &stop;
+  for (const std::string& name : EngineNames()) {
+    auto engine = CreateEngine(name);
+    const ExecResult r = engine->Execute(bq, opts);
+    EXPECT_TRUE(r.timed_out) << name;
+  }
+}
+
+// Skew-aware split points must yield balanced morsels on power-law
+// data: on an Rmat graph (hub vertices at low ids) every morsel range
+// carries tuples, the max/min morsel tuple-count ratio stays bounded,
+// and the old value-uniform slicing's heaviest partition is provably
+// lopsided next to the quantile split's heaviest morsel.
+TEST(PartitionedRunTest, MorselSplitsBalanceSkewedRmatTupleCounts) {
+  Graph g = Rmat(11, 30000, 0.57, 0.19, 0.19, 7);
+  GraphRelations rels = MakeGraphRelations(g);
+  const Relation& edge = rels.edge;
+  const TrieIndex index(edge);
+  const int parts = 8;
+  const std::vector<Value> splits = index.SplitPoints(parts);
+  ASSERT_GE(splits.size(), 3u);
+  for (size_t i = 1; i < splits.size(); ++i) {
+    EXPECT_LT(splits[i - 1], splits[i]);
+  }
+  const Value lo = index.ColMin(0), hi = index.ColMax(0);
+  auto range_counts = [&](const std::vector<Value>& bounds) {
+    std::vector<uint64_t> counts(bounds.size() + 1, 0);
+    for (size_t r = 0; r < edge.size(); ++r) {
+      const Value v = edge.At(r, 0);
+      size_t part = 0;
+      while (part < bounds.size() && v > bounds[part]) ++part;
+      ++counts[part];
+    }
+    return counts;
+  };
+  const std::vector<uint64_t> morsel = range_counts(splits);
+  uint64_t morsel_max = 0, morsel_min = edge.size();
+  for (uint64_t c : morsel) {
+    morsel_max = std::max(morsel_max, c);
+    morsel_min = std::min(morsel_min, c);
+  }
+  EXPECT_GT(morsel_min, 0u);  // no empty morsel on resident data
+  EXPECT_LE(morsel_max, morsel_min * 4)
+      << "morsel tuple counts out of balance";
+  // The pre-change boundaries: parts equal value-width slices of
+  // [lo, hi] (domain is narrow here, so the span math cannot overflow).
+  std::vector<Value> uniform;
+  const Value span = hi - lo + 1;
+  for (int p = 1; p < parts; ++p) uniform.push_back(lo + span * p / parts - 1);
+  const std::vector<uint64_t> stat = range_counts(uniform);
+  const uint64_t static_max = *std::max_element(stat.begin(), stat.end());
+  EXPECT_GE(static_max, morsel_max * 2)
+      << "value-uniform slicing should be visibly hub-heavy on Rmat";
+}
+
+// PartitionedExecute over a caller-owned WorkerPool: the persistent
+// threads serve several queries back to back and counts stay
+// serial-identical, with per-worker scratch reuse visible in the stats.
+TEST(PartitionedRunTest, ReusedWorkerPoolServesRepeatedQueries) {
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  auto engine = CreateEngine("ms");
+  const ExecResult direct = engine->Execute(bq, ExecOptions{});
+  WorkerPool pool(3);
+  ExecScratchPool scratch;
+  for (int run = 0; run < 3; ++run) {
+    const ExecResult r = PartitionedExecute(
+        *engine, bq, ExecOptions{}, /*num_threads=*/3, /*granularity=*/4,
+        &scratch, &pool);
+    EXPECT_EQ(r.count, direct.count) << "run " << run;
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GT(r.stats.cds_nodes_recycled, 0u) << "run " << run;
+  }
 }
 
 TEST(WorkloadsTest, RegistryCoversThePaperQueries) {

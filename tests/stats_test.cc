@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "core/atom_index.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/sampling.h"
+#include "parallel/partitioned_run.h"
 #include "query/parser.h"
 #include "storage/catalog.h"
 #include "tests/test_util.h"
@@ -314,6 +316,41 @@ TEST(StatsTest, IndexCounterAccountingIsLayoutInvariant) {
             << name << " " << text;
       }
     }
+  }
+}
+
+TEST(StatsTest, ParallelWarmAccountingMatchesSerialWarm) {
+  // The hashed-key dedup inside WarmQueryIndexesParallel must keep the
+  // per-atom build/hit accounting bit-identical to the serial
+  // WarmQueryIndexes, cold and warm, on queries mixing repeated and
+  // distinct (relation, permutation) keys.
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  rels.v1 = SampleNodes(g, 3.0, 4);
+  rels.v2 = SampleNodes(g, 3.0, 5);
+  const std::pair<const char*, std::vector<std::string>> queries[] = {
+      {"edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)", {"a", "b", "c"}},
+      {"v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)",
+       {"a", "b", "c", "d"}},
+      {"edge(a,b), edge(b,c), edge(c,a), edge(a,c)", {"a", "b", "c"}},
+  };
+  for (const auto& [text, gao] : queries) {
+    BoundQuery bq = Bind(MustParseQuery(text), rels.Map(), gao);
+    IndexCatalog serial_catalog, parallel_catalog;
+    bq.catalog = &serial_catalog;
+    const EngineStats serial_cold = WarmQueryIndexes(bq);
+    const EngineStats serial_warm = WarmQueryIndexes(bq);
+    bq.catalog = &parallel_catalog;
+    const EngineStats parallel_cold = WarmQueryIndexesParallel(bq, 4);
+    const EngineStats parallel_warm = WarmQueryIndexesParallel(bq, 4);
+    EXPECT_EQ(parallel_cold.index_builds, serial_cold.index_builds) << text;
+    EXPECT_EQ(parallel_cold.index_cache_hits, serial_cold.index_cache_hits)
+        << text;
+    EXPECT_EQ(parallel_warm.index_builds, serial_warm.index_builds) << text;
+    EXPECT_EQ(parallel_warm.index_cache_hits, serial_warm.index_cache_hits)
+        << text;
+    EXPECT_EQ(parallel_catalog.builds(), serial_catalog.builds()) << text;
+    EXPECT_EQ(parallel_catalog.size(), serial_catalog.size()) << text;
   }
 }
 

@@ -441,6 +441,57 @@ TEST(IndexCatalogTest, InvalidateDropsOnlyThatRelation) {
   EXPECT_EQ(fresh->ColMin(0), 7);
 }
 
+// --- SplitPoints: the morsel scheduler's quantile API ---
+
+TEST(SplitPointsTest, DegenerateInputs) {
+  Relation empty(1);
+  empty.Build();
+  EXPECT_TRUE(TrieIndex(empty).SplitPoints(8).empty());
+  Relation one = Relation::FromTuples(1, {{5}});
+  EXPECT_TRUE(TrieIndex(one).SplitPoints(1).empty());
+  EXPECT_TRUE(TrieIndex(one).SplitPoints(0).empty());
+  // A single key can never split: the tail range must stay non-empty.
+  EXPECT_TRUE(TrieIndex(one).SplitPoints(4).empty());
+}
+
+TEST(SplitPointsTest, UnaryQuantilesAreEqualKeyShares) {
+  Relation r(1);
+  for (Value v = 0; v < 100; ++v) r.Add({v});
+  r.Build();
+  const TrieIndex index(r);
+  const std::vector<Value> splits = index.SplitPoints(4);
+  // 100 distinct unit-weight keys into 4 ranges: boundaries at the
+  // 25th/50th/75th keys.
+  EXPECT_EQ(splits, (std::vector<Value>{24, 49, 74}));
+  // More ranges than keys: every key but the last becomes a boundary.
+  Relation tiny = Relation::FromTuples(1, {{10}, {20}, {30}});
+  const std::vector<Value> all = TrieIndex(tiny).SplitPoints(8);
+  EXPECT_EQ(all, (std::vector<Value>{10, 20}));
+}
+
+TEST(SplitPointsTest, SubtreeBreadthWeightingIsolatesHubKeys) {
+  // Key 0 is a hub with 97 children; keys 1..3 have one child each.
+  // Key-count quantiles would cut {0,1} | {2,3}, leaving the first
+  // range with 98% of the tuples; breadth weighting must cut the hub
+  // off on its own.
+  Relation r(2);
+  for (Value c = 0; c < 97; ++c) r.Add({0, c});
+  r.Add({1, 0});
+  r.Add({2, 0});
+  r.Add({3, 0});
+  r.Build();
+  const TrieIndex index(r);
+  EXPECT_EQ(index.SplitPoints(2), (std::vector<Value>{0}));
+  // Even at finer granularity the hub swallows every quantile it
+  // covers and is emitted exactly once; boundaries stay increasing.
+  const std::vector<Value> fine = index.SplitPoints(4);
+  ASSERT_FALSE(fine.empty());
+  EXPECT_EQ(fine.front(), 0);
+  for (size_t i = 1; i < fine.size(); ++i) {
+    EXPECT_LT(fine[i - 1], fine[i]);
+  }
+}
+
 TEST(DatabaseTest, PutFindMapAndReplaceInvalidation) {
   Database db;
   const Relation* edge =

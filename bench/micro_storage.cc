@@ -34,6 +34,8 @@
 #include "parallel/worker_pool.h"
 #include "query/parser.h"
 #include "storage/catalog.h"
+#include "storage/level_keys.h"
+#include "storage/search_kernels.h"
 #include "storage/trie.h"
 #include "tests/cds_reference.h"
 #include "util/rng.h"
@@ -487,6 +489,152 @@ struct LayoutCell {
   const char* items = "rows";
 };
 
+// One row of the kernel/tier A-B axes: a baseline and a variant
+// configuration timed on the identical workload, with the workload's
+// result count captured on both sides so the report itself proves the
+// configurations agree.
+struct KernelTierCell {
+  const char* axis;      // "simd_vs_scalar" | "packed_vs_raw"
+  const char* workload;  // "seekgap" | "leapfrog_intersect"
+  int arity = 0;
+  std::string kernel;  // variant kernel name
+  std::string tier;    // variant tier policy name
+  double baseline_seconds = 0.0, variant_seconds = 0.0;
+  uint64_t baseline_results = 0, variant_results = 0;
+  size_t baseline_bytes = 0, variant_bytes = 0;  // level-key storage
+};
+
+size_t TotalKeyBytes(const TrieIndex& index) {
+  size_t bytes = 0;
+  for (int d = 0; d < index.arity(); ++d) bytes += index.LevelKeyBytes(d);
+  return bytes;
+}
+
+// The two axes the SIMD/tier change is accountable to, on the same
+// deep-skewed workloads as the layout cells:
+//  - simd_vs_scalar: one raw-tier index, dispatched best kernel vs the
+//    forced scalar kernel (isolates the block-search kernels);
+//  - packed_vs_raw: best kernel on both sides, compressed-tier index vs
+//    raw-tier index (isolates the key tier, and reports the bytes the
+//    tier saves).
+std::vector<KernelTierCell> BuildKernelTierCells() {
+  constexpr int kReps = 5;
+  constexpr size_t kRows = 1 << 16;
+  constexpr size_t kProbes = 1 << 15;
+  const KernelKind best = ForceSearchKernel(KernelKind::kAuto);
+  std::vector<KernelTierCell> cells;
+  for (int arity = 3; arity <= 5; ++arity) {
+    const Relation rel = DeepSkewed(arity, kRows, 17 + arity);
+    const Relation lf_a = IntersectSide(arity, kRows, 91 + arity);
+    const Relation lf_b = IntersectSide(arity, kRows, 57 + arity);
+    const Relation lf_c = IntersectSide(arity, kRows / 8, 33 + arity);
+    const std::vector<Value> domain = DeepDomains(arity);
+    std::vector<Tuple> probes;
+    probes.reserve(kProbes);
+    Rng rng(29 + arity);
+    for (size_t i = 0; i < kProbes; ++i) {
+      Tuple t(arity);
+      if (rng.NextBounded(2) == 0) {
+        t = rel.RowTuple(rng.NextBounded(rel.size()));
+        t[arity - 1] += 1;
+      } else {
+        for (int c = 0; c < arity; ++c) {
+          t[c] = static_cast<Value>(rng.NextBounded(domain[c]));
+        }
+      }
+      probes.push_back(std::move(t));
+    }
+
+    const TrieIndex raw(rel, {}, TierPolicy::kRawOnly);
+    const TrieIndex packed(rel, {}, TierPolicy::kForcePacked);
+    const TrieIndex raw_a(lf_a, {}, TierPolicy::kRawOnly);
+    const TrieIndex raw_b(lf_b, {}, TierPolicy::kRawOnly);
+    const TrieIndex raw_c(lf_c, {}, TierPolicy::kRawOnly);
+    const TrieIndex pk_a(lf_a, {}, TierPolicy::kForcePacked);
+    const TrieIndex pk_b(lf_b, {}, TierPolicy::kForcePacked);
+    const TrieIndex pk_c(lf_c, {}, TierPolicy::kForcePacked);
+
+    auto time_seekgap = [&](const TrieIndex& index, uint64_t* results) {
+      std::vector<double> xs;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Stopwatch w;
+        uint64_t found = 0;
+        for (const Tuple& t : probes) found += index.SeekGap(t).found;
+        xs.push_back(w.ElapsedSeconds());
+        *results = found;
+      }
+      return MedianSeconds(std::move(xs));
+    };
+    auto time_leapfrog = [&](const TrieIndex& a, const TrieIndex& b,
+                             const TrieIndex& c, uint64_t* results) {
+      std::vector<double> xs;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Stopwatch w;
+        uint64_t ops = 0, n = 0;
+        for (int pass = 0; pass < 16; ++pass) {
+          TrieIterator x(&a), y(&b), z(&c);
+          n += UnaryLeapfrogCount(&x, &y, &z, &ops);
+        }
+        xs.push_back(w.ElapsedSeconds());
+        *results = n;
+      }
+      return MedianSeconds(std::move(xs));
+    };
+
+    // Axis 1: kernels, raw tier held fixed.
+    {
+      KernelTierCell cell{"simd_vs_scalar", "seekgap", arity,
+                          KernelName(best), TierPolicyName(TierPolicy::kRawOnly)};
+      ForceSearchKernel(KernelKind::kScalar);
+      cell.baseline_seconds = time_seekgap(raw, &cell.baseline_results);
+      ForceSearchKernel(best);
+      cell.variant_seconds = time_seekgap(raw, &cell.variant_results);
+      cell.baseline_bytes = cell.variant_bytes = TotalKeyBytes(raw);
+      cells.push_back(cell);
+    }
+    {
+      KernelTierCell cell{"simd_vs_scalar", "leapfrog_intersect", arity,
+                          KernelName(best), TierPolicyName(TierPolicy::kRawOnly)};
+      ForceSearchKernel(KernelKind::kScalar);
+      cell.baseline_seconds =
+          time_leapfrog(raw_a, raw_b, raw_c, &cell.baseline_results);
+      ForceSearchKernel(best);
+      cell.variant_seconds =
+          time_leapfrog(raw_a, raw_b, raw_c, &cell.variant_results);
+      cell.baseline_bytes = cell.variant_bytes =
+          TotalKeyBytes(raw_a) + TotalKeyBytes(raw_b) + TotalKeyBytes(raw_c);
+      cells.push_back(cell);
+    }
+    // Axis 2: tiers, best kernel held fixed.
+    ForceSearchKernel(best);
+    {
+      KernelTierCell cell{"packed_vs_raw", "seekgap", arity, KernelName(best),
+                          TierPolicyName(TierPolicy::kForcePacked)};
+      cell.baseline_seconds = time_seekgap(raw, &cell.baseline_results);
+      cell.variant_seconds = time_seekgap(packed, &cell.variant_results);
+      cell.baseline_bytes = TotalKeyBytes(raw);
+      cell.variant_bytes = TotalKeyBytes(packed);
+      cells.push_back(cell);
+    }
+    {
+      KernelTierCell cell{"packed_vs_raw", "leapfrog_intersect", arity,
+                          KernelName(best),
+                          TierPolicyName(TierPolicy::kForcePacked)};
+      cell.baseline_seconds =
+          time_leapfrog(raw_a, raw_b, raw_c, &cell.baseline_results);
+      cell.variant_seconds =
+          time_leapfrog(pk_a, pk_b, pk_c, &cell.variant_results);
+      cell.baseline_bytes =
+          TotalKeyBytes(raw_a) + TotalKeyBytes(raw_b) + TotalKeyBytes(raw_c);
+      cell.variant_bytes =
+          TotalKeyBytes(pk_a) + TotalKeyBytes(pk_b) + TotalKeyBytes(pk_c);
+      cells.push_back(cell);
+    }
+  }
+  ForceSearchKernel(KernelKind::kAuto);
+  return cells;
+}
+
 // Medians over `reps` timed runs of both layouts on identical inputs.
 void EmitTrieLayoutReport(const char* path) {
   constexpr int kReps = 5;
@@ -636,6 +784,26 @@ void EmitTrieLayoutReport(const char* path) {
         c.rowmajor_seconds,
         c.csr_seconds > 0 ? c.rowmajor_seconds / c.csr_seconds : 0.0,
         c.items, c.csr_items_per_sec, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"kernel_tier_results\": [\n");
+  const std::vector<KernelTierCell> kt = BuildKernelTierCells();
+  for (size_t i = 0; i < kt.size(); ++i) {
+    const KernelTierCell& c = kt[i];
+    std::fprintf(
+        f,
+        "    {\"axis\": \"%s\", \"workload\": \"%s\", \"arity\": %d, "
+        "\"kernel\": \"%s\", \"tier\": \"%s\", "
+        "\"baseline_seconds\": %.6f, \"variant_seconds\": %.6f, "
+        "\"speedup\": %.3f, \"baseline_results\": %llu, "
+        "\"variant_results\": %llu, \"results_equal\": %s, "
+        "\"baseline_key_bytes\": %zu, \"variant_key_bytes\": %zu}%s\n",
+        c.axis, c.workload, c.arity, c.kernel.c_str(), c.tier.c_str(),
+        c.baseline_seconds, c.variant_seconds,
+        c.variant_seconds > 0 ? c.baseline_seconds / c.variant_seconds : 0.0,
+        static_cast<unsigned long long>(c.baseline_results),
+        static_cast<unsigned long long>(c.variant_results),
+        c.baseline_results == c.variant_results ? "true" : "false",
+        c.baseline_bytes, c.variant_bytes, i + 1 < kt.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -19,6 +19,11 @@
 // WorkerPool, with per-worker scratch arenas that stay warm across the
 // repeats. A 60s deadline demonstrates the cancellation contract — one
 // timed-out morsel stops the whole run.
+//
+// --kernel NAME pins the block-search kernel (scalar, sse4, avx2, neon,
+// auto) for A-B runs; auto (the default) dispatches to the best ISA the
+// CPU supports. Results are identical across kernels by construction —
+// only the seek throughput moves.
 
 #include <algorithm>
 #include <cstdio>
@@ -34,6 +39,7 @@
 #include "parallel/partitioned_run.h"
 #include "parallel/worker_pool.h"
 #include "query/parser.h"
+#include "storage/search_kernels.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
@@ -60,12 +66,31 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      KernelKind kind;
+      if (!ParseKernelName(argv[++i], &kind)) {
+        std::fprintf(stderr, "unknown kernel '%s'; known:", argv[i]);
+        for (const KernelKind k : SupportedKernels())
+          std::fprintf(stderr, " %s", KernelName(k));
+        std::fprintf(stderr, " auto\n");
+        return 2;
+      }
+      const KernelKind active = ForceSearchKernel(kind);
+      if (kind != KernelKind::kAuto && active != kind) {
+        std::fprintf(stderr, "kernel '%s' unsupported on this CPU\n",
+                     KernelName(kind));
+        return 2;
+      }
+      std::printf("search kernel: %s\n", KernelName(active));
+      continue;
+    }
     args.push_back(argv[i]);
   }
 
   if (args.empty()) {
     std::fprintf(stderr,
-                 "usage: %s \"<query>\" [engine] [--repeat N] [--threads N]\n",
+                 "usage: %s \"<query>\" [engine] [--repeat N] [--threads N] "
+                 "[--kernel scalar|sse4|avx2|neon|auto]\n",
                  argv[0]);
     return 2;
   }

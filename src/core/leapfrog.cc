@@ -5,6 +5,13 @@
 
 namespace wcoj {
 
+// The leapfrog intersection loop below is the hottest control flow in
+// LFTJ: every Seek lands in TrieIndex::LowerBound and from there in the
+// dispatched SIMD block-search kernels (storage/search_kernels.h), over
+// whatever key tier the level was built with. The loop itself stays
+// scalar bookkeeping — index wrap-around is a compare instead of a
+// modulo so the per-advance cost is a handful of predictable ops.
+
 LeapfrogJoin::LeapfrogJoin(std::vector<TrieIterator*> iters)
     : iters_(std::move(iters)) {
   assert(!iters_.empty());
@@ -28,7 +35,7 @@ void LeapfrogJoin::Init() {
 void LeapfrogJoin::Search() {
   assert(!at_end_);
   const size_t k = iters_.size();
-  Value max_key = iters_[(p_ + k - 1) % k]->Key();
+  Value max_key = iters_[p_ == 0 ? k - 1 : p_ - 1]->Key();
   for (;;) {
     TrieIterator* it = iters_[p_];
     if (it->Key() == max_key) return;  // all k keys equal
@@ -38,7 +45,7 @@ void LeapfrogJoin::Search() {
       return;
     }
     max_key = it->Key();
-    p_ = (p_ + 1) % k;
+    p_ = p_ + 1 == k ? 0 : p_ + 1;
   }
 }
 
@@ -54,7 +61,7 @@ void LeapfrogJoin::Next() {
     at_end_ = true;
     return;
   }
-  p_ = (p_ + 1) % iters_.size();
+  p_ = p_ + 1 == iters_.size() ? 0 : p_ + 1;
   Search();
 }
 
@@ -66,7 +73,7 @@ void LeapfrogJoin::Seek(Value v) {
     at_end_ = true;
     return;
   }
-  p_ = (p_ + 1) % iters_.size();
+  p_ = p_ + 1 == iters_.size() ? 0 : p_ + 1;
   Search();
 }
 

@@ -28,10 +28,17 @@ class LftjRun {
     for (size_t a = 0; a < q.atoms.size(); ++a) {
       iters_.push_back(std::make_unique<TrieIterator>(indexes_.at(a)));
     }
-    // For each GAO depth, the iterators participating there.
+    // For each GAO depth, the iterators participating there, plus one
+    // reusable LeapfrogJoin over them. The joins are constructed once
+    // here and re-Init()ed on every entry into their depth, so the hot
+    // recursion never copies an iterator vector per trie node.
     per_depth_.resize(q.num_vars);
     for (size_t a = 0; a < q.atoms.size(); ++a) {
       for (int v : q.atoms[a].vars) per_depth_[v].push_back(iters_[a].get());
+    }
+    joins_.reserve(q.num_vars);
+    for (int v = 0; v < q.num_vars; ++v) {
+      joins_.emplace_back(per_depth_[v]);  // asserts the var is covered
     }
     // Earlier filter endpoints per depth: binding depth d must exceed
     // t[lo] for every filter (lo, d) with lo < d.
@@ -84,7 +91,7 @@ class LftjRun {
     }
     auto& iters = per_depth_[depth];
     for (auto* it : iters) it->Open();
-    LeapfrogJoin join(iters);
+    LeapfrogJoin& join = joins_[depth];
     join.Init();
     // Seek past inequality lower bounds (and the partition range at the
     // first variable).
@@ -112,6 +119,7 @@ class LftjRun {
   AtomIndexSet indexes_;
   std::vector<std::unique_ptr<TrieIterator>> iters_;
   std::vector<std::vector<TrieIterator*>> per_depth_;
+  std::vector<LeapfrogJoin> joins_;  // one reusable join per GAO depth
   std::vector<std::vector<int>> lower_bounds_;
   std::vector<std::pair<int, int>> upper_checks_;
   Tuple t_;

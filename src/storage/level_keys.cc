@@ -1,0 +1,227 @@
+#include "storage/level_keys.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/search_kernels.h"
+
+namespace wcoj {
+
+namespace {
+
+// max - min as an unsigned span; two's-complement subtraction is exact
+// for any int64 pair, which is what keeps the int64-extreme domains
+// (the PR 5 overflow class) out of undefined behavior here.
+uint64_t Span(Value lo, Value hi) {
+  return static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+}
+
+}  // namespace
+
+const char* TierName(KeyTier tier) {
+  switch (tier) {
+    case KeyTier::kRaw:
+      return "raw";
+    case KeyTier::kPacked8:
+      return "packed8";
+    case KeyTier::kPacked16:
+      return "packed16";
+    case KeyTier::kPacked32:
+      return "packed32";
+    case KeyTier::kDelta:
+      return "delta";
+  }
+  return "raw";
+}
+
+const char* TierPolicyName(TierPolicy policy) {
+  switch (policy) {
+    case TierPolicy::kAuto:
+      return "auto";
+    case TierPolicy::kRawOnly:
+      return "raw-only";
+    case TierPolicy::kForcePacked:
+      return "force-packed";
+    case TierPolicy::kForceDelta:
+      return "force-delta";
+  }
+  return "auto";
+}
+
+bool LevelKeys::TryPack(const std::vector<Value>& keys) {
+  const auto [min_it, max_it] = std::minmax_element(keys.begin(), keys.end());
+  const uint64_t span = Span(*min_it, *max_it);
+  if (span > UINT32_MAX) return false;  // includes int64-extreme domains
+  base_ = *min_it;
+  if (span <= UINT8_MAX) {
+    tier_ = KeyTier::kPacked8;
+    p8_.reserve(keys.size());
+    for (const Value k : keys) {
+      p8_.push_back(static_cast<uint8_t>(Span(base_, k)));
+    }
+  } else if (span <= UINT16_MAX) {
+    tier_ = KeyTier::kPacked16;
+    p16_.reserve(keys.size());
+    for (const Value k : keys) {
+      p16_.push_back(static_cast<uint16_t>(Span(base_, k)));
+    }
+  } else {
+    tier_ = KeyTier::kPacked32;
+    p32_.reserve(keys.size());
+    for (const Value k : keys) {
+      p32_.push_back(static_cast<uint32_t>(Span(base_, k)));
+    }
+  }
+  return true;
+}
+
+bool LevelKeys::TryDelta(const std::vector<Value>& keys) {
+  const size_t n = keys.size();
+  const size_t blocks = (n + kBlockSize - 1) >> kBlockShift;
+  std::vector<Value> first;
+  std::vector<uint32_t> delta;
+  first.reserve(blocks);
+  delta.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if ((i & (kBlockSize - 1)) == 0) first.push_back(keys[i]);
+    const Value bf = first.back();
+    // A group restart inside the block can dip below the block base, and
+    // wide domains can overflow the 32-bit offset: either disqualifies
+    // the whole level (the caller falls back to raw).
+    if (keys[i] < bf || Span(bf, keys[i]) > UINT32_MAX) return false;
+    delta.push_back(static_cast<uint32_t>(Span(bf, keys[i])));
+  }
+  tier_ = KeyTier::kDelta;
+  block_first_ = std::move(first);
+  delta32_ = std::move(delta);
+  return true;
+}
+
+void LevelKeys::Build(std::vector<Value> keys, TierPolicy policy,
+                      bool compressible) {
+  size_ = keys.size();
+  tier_ = KeyTier::kRaw;
+  if (compressible && size_ >= 2) {
+    switch (policy) {
+      case TierPolicy::kRawOnly:
+        break;
+      case TierPolicy::kAuto:
+        if (size_ >= kAutoMinKeys && !TryPack(keys)) TryDelta(keys);
+        break;
+      case TierPolicy::kForcePacked:
+        TryPack(keys);
+        break;
+      case TierPolicy::kForceDelta:
+        TryDelta(keys);
+        break;
+    }
+  }
+  if (tier_ == KeyTier::kRaw) {
+    raw_ = std::move(keys);
+  } else {
+    raw_.clear();
+    raw_.shrink_to_fit();
+  }
+}
+
+template <bool Upper>
+size_t LevelKeys::DeltaSearch(size_t lo, size_t hi, Value v) const {
+  // Gallop with single-key decodes (each O(1)), then bisect the bracket
+  // until it sits inside one block, whose 32-bit offsets the kernel
+  // scans against the translated target.
+  auto before = [&](size_t i) {
+    const Value k = At(i);
+    return Upper ? k <= v : k < v;
+  };
+  size_t step = 1;
+  size_t a = lo, b = lo;
+  while (b < hi && before(b)) {
+    a = b + 1;
+    b = lo + step;
+    step <<= 1;
+  }
+  b = std::min(b, hi);
+  while (a < b) {
+    if ((a >> kBlockShift) == ((b - 1) >> kBlockShift)) {
+      const Value bf = block_first_[a >> kBlockShift];
+      if (Upper ? v < bf : v <= bf) return a;  // every key >= bf
+      const uint64_t target = Span(bf, v);
+      if (target > UINT32_MAX) return b;  // every key <= bf + 2^32-1 < v
+      const uint32_t t32 = static_cast<uint32_t>(target);
+      return Upper ? KernelUpperBound(delta32_.data(), a, b, t32)
+                   : KernelLowerBound(delta32_.data(), a, b, t32);
+    }
+    const size_t mid = a + (b - a) / 2;
+    if (before(mid)) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  return a;
+}
+
+template <bool Upper>
+size_t LevelKeys::Search(size_t lo, size_t hi, Value v) const {
+  if (lo >= hi) return lo;
+  switch (tier_) {
+    case KeyTier::kRaw:
+      return Upper ? KernelUpperBound(raw_.data(), lo, hi, v)
+                   : KernelLowerBound(raw_.data(), lo, hi, v);
+    case KeyTier::kPacked8:
+    case KeyTier::kPacked16:
+    case KeyTier::kPacked32: {
+      // Translate the target into offset space once; the translation is
+      // order-preserving on the encodable range, and targets outside it
+      // resolve to the range ends without touching the array.
+      if (Upper ? v < base_ : v <= base_) return lo;  // every key >= base_
+      const uint64_t target = Span(base_, v);
+      if (tier_ == KeyTier::kPacked8) {
+        if (target > UINT8_MAX) return hi;
+        const uint8_t t = static_cast<uint8_t>(target);
+        return Upper ? KernelUpperBound(p8_.data(), lo, hi, t)
+                     : KernelLowerBound(p8_.data(), lo, hi, t);
+      }
+      if (tier_ == KeyTier::kPacked16) {
+        if (target > UINT16_MAX) return hi;
+        const uint16_t t = static_cast<uint16_t>(target);
+        return Upper ? KernelUpperBound(p16_.data(), lo, hi, t)
+                     : KernelLowerBound(p16_.data(), lo, hi, t);
+      }
+      if (target > UINT32_MAX) return hi;
+      const uint32_t t = static_cast<uint32_t>(target);
+      return Upper ? KernelUpperBound(p32_.data(), lo, hi, t)
+                   : KernelLowerBound(p32_.data(), lo, hi, t);
+    }
+    case KeyTier::kDelta:
+      return DeltaSearch<Upper>(lo, hi, v);
+  }
+  return lo;  // unreachable
+}
+
+size_t LevelKeys::LowerBound(size_t lo, size_t hi, Value v) const {
+  return Search<false>(lo, hi, v);
+}
+
+size_t LevelKeys::UpperBound(size_t lo, size_t hi, Value v) const {
+  return Search<true>(lo, hi, v);
+}
+
+size_t LevelKeys::MemoryBytes() const {
+  switch (tier_) {
+    case KeyTier::kRaw:
+      return raw_.size() * sizeof(Value);
+    case KeyTier::kPacked8:
+      return p8_.size() * sizeof(uint8_t);
+    case KeyTier::kPacked16:
+      return p16_.size() * sizeof(uint16_t);
+    case KeyTier::kPacked32:
+      return p32_.size() * sizeof(uint32_t);
+    case KeyTier::kDelta:
+      return block_first_.size() * sizeof(Value) +
+             delta32_.size() * sizeof(uint32_t);
+  }
+  return 0;
+}
+
+}  // namespace wcoj

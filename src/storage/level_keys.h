@@ -1,0 +1,125 @@
+#ifndef WCOJ_STORAGE_LEVEL_KEYS_H_
+#define WCOJ_STORAGE_LEVEL_KEYS_H_
+
+// LevelKeys: one trie level's key array behind a tier-blind accessor.
+//
+// PR 3 made every level a contiguous sorted-within-group int64 array.
+// For dense levels that is 8 bytes per key even when the whole level
+// spans a few hundred distinct values — most of every cache line a seek
+// touches is sign extension. LevelKeys keeps the raw layout as the
+// default *tier* and adds two compressed tiers, chosen per level at
+// build time:
+//
+//  * kPacked8/16/32 — fixed-width offsets from the level's minimum key
+//    (frame of reference). Eligible when max-min fits the width; a seek
+//    translates its target once and gallops over the narrow lanes, so
+//    the working set shrinks 8x/4x/2x and the SIMD block scans compare
+//    2-8x more keys per vector.
+//  * kDelta — 64-key blocks, each storing its first key raw plus 32-bit
+//    offsets from that block base. Eligible when every key is >= its
+//    block's base and within 2^32 of it (levels that are monotone-ish at
+//    block granularity — level 0 always qualifies structurally, deeper
+//    levels only when group restarts don't dip below a block base).
+//
+// Every read goes through At / LowerBound / UpperBound, so iterators,
+// SeekGap, SplitPoints, and the engines above them are layout-blind.
+// Bound searches gallop (amortized O(1 + log distance), the contract
+// both join algorithms assume) and finish in the dispatched SIMD block
+// scan of storage/search_kernels.h, in the tier's native lane width.
+//
+// Encoding never changes results: an ineligible or degenerate level
+// (empty, single-key, or any level of an arity-1 trie) silently stays
+// raw, including under the force policies the tests sweep. The
+// differential harness (tests/kernel_differential_test.cc) pins every
+// (kernel, tier) pair against the scalar/raw oracle.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/value.h"
+
+namespace wcoj {
+
+enum class KeyTier : uint8_t { kRaw, kPacked8, kPacked16, kPacked32, kDelta };
+
+// How a build chooses tiers. kAuto compresses only levels where the
+// smaller working set is worth the decode (>= kAutoMinKeys keys);
+// kRawOnly pins the PR 3 layout (the oracle configuration); the force
+// policies engage a specific compressed tier whenever it is encodable,
+// regardless of size — the knob differential tests sweep.
+enum class TierPolicy : uint8_t { kAuto, kRawOnly, kForcePacked, kForceDelta };
+
+const char* TierName(KeyTier tier);
+const char* TierPolicyName(TierPolicy policy);
+
+class LevelKeys {
+ public:
+  // Under kAuto, levels below this key count always stay raw.
+  static constexpr size_t kAutoMinKeys = 64;
+  // Delta tier block geometry (64 keys per block).
+  static constexpr size_t kBlockShift = 6;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockShift;
+
+  // Takes ownership of a level's keys (sorted within each parent group)
+  // and encodes them per `policy`. `compressible` is the degenerate-level
+  // guard: when false (arity-1 tries, empty or single-key levels) the
+  // tier is pinned to kRaw whatever the policy says.
+  void Build(std::vector<Value> keys, TierPolicy policy, bool compressible);
+
+  size_t size() const { return size_; }
+  KeyTier tier() const { return tier_; }
+
+  // Decodes the key at index i. O(1) for every tier.
+  Value At(size_t i) const {
+    switch (tier_) {
+      case KeyTier::kRaw:
+        return raw_[i];
+      case KeyTier::kPacked8:
+        return base_ + static_cast<Value>(p8_[i]);
+      case KeyTier::kPacked16:
+        return base_ + static_cast<Value>(p16_[i]);
+      case KeyTier::kPacked32:
+        return base_ + static_cast<Value>(p32_[i]);
+      case KeyTier::kDelta:
+        return block_first_[i >> kBlockShift] +
+               static_cast<Value>(delta32_[i]);
+    }
+    return 0;  // unreachable
+  }
+
+  // Least index in [lo, hi) whose key is >= v resp. > v; [lo, hi) must
+  // lie within one sorted parent group. Gallops from lo through the
+  // active search kernel in the tier's native lane width.
+  size_t LowerBound(size_t lo, size_t hi, Value v) const;
+  size_t UpperBound(size_t lo, size_t hi, Value v) const;
+
+  // Heap bytes held by the encoded key array (the packed-vs-raw axis in
+  // BENCH_trie_layout.json).
+  size_t MemoryBytes() const;
+
+ private:
+  template <bool Upper>
+  size_t Search(size_t lo, size_t hi, Value v) const;
+  template <bool Upper>
+  size_t DeltaSearch(size_t lo, size_t hi, Value v) const;
+
+  bool TryPack(const std::vector<Value>& keys);
+  bool TryDelta(const std::vector<Value>& keys);
+
+  KeyTier tier_ = KeyTier::kRaw;
+  size_t size_ = 0;
+  std::vector<Value> raw_;  // kRaw
+  // kPacked*: key = base_ + p{w}_[i]
+  Value base_ = 0;
+  std::vector<uint8_t> p8_;
+  std::vector<uint16_t> p16_;
+  std::vector<uint32_t> p32_;
+  // kDelta: key = block_first_[i >> kBlockShift] + delta32_[i]
+  std::vector<Value> block_first_;
+  std::vector<uint32_t> delta32_;
+};
+
+}  // namespace wcoj
+
+#endif  // WCOJ_STORAGE_LEVEL_KEYS_H_

@@ -1,6 +1,7 @@
 #include "storage/trie.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <limits>
 
@@ -8,36 +9,20 @@ namespace wcoj {
 
 namespace {
 
-// Galloping search over a contiguous key array: least index in [lo, hi)
-// whose key is >= v (upper=false) resp. > v (upper=true). Exponential
-// probe from lo to bracket the answer, then binary search the bracket.
-size_t GallopKeys(const Value* keys, size_t lo, size_t hi, Value v,
-                  bool upper) {
-  auto before = [&](size_t i) {
-    return upper ? keys[i] <= v : keys[i] < v;
-  };
-  size_t step = 1;
-  size_t a = lo, b = lo;
-  while (b < hi && before(b)) {
-    a = b + 1;
-    b = lo + step;
-    step <<= 1;
-  }
-  b = std::min(b, hi);
-  while (a < b) {
-    const size_t mid = a + (b - a) / 2;
-    if (before(mid)) {
-      a = mid + 1;
-    } else {
-      b = mid;
-    }
-  }
-  return a;
-}
+std::atomic<TierPolicy> g_default_tier_policy{TierPolicy::kAuto};
 
 }  // namespace
 
-TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm)
+TierPolicy SetDefaultTierPolicy(TierPolicy policy) {
+  return g_default_tier_policy.exchange(policy, std::memory_order_relaxed);
+}
+
+TierPolicy DefaultTierPolicy() {
+  return g_default_tier_policy.load(std::memory_order_relaxed);
+}
+
+TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm,
+                     TierPolicy tier_policy)
     : perm_(std::move(perm)) {
   assert(rel.built());
   const int arity = rel.arity();
@@ -73,8 +58,10 @@ TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm)
   // Single pass over the sorted rows: the first depth whose value
   // differs from the previous row's opens a fresh node there and at
   // every deeper depth. Appending a node at depth d records its
-  // child-range start — the next level's size at that moment.
-  levels_[arity - 1].keys.reserve(n);
+  // child-range start — the next level's size at that moment. Keys are
+  // staged raw per level, then handed to each level's tier encoder.
+  std::vector<std::vector<Value>> raw_keys(arity);
+  raw_keys[arity - 1].reserve(n);
   Tuple cur(arity), prev(arity);
   for (size_t i = 0; i < n; ++i) {
     const size_t row = identity ? i : order[i];
@@ -89,19 +76,27 @@ TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm)
     for (; d < arity; ++d) {
       if (d + 1 < arity) {
         levels_[d].child.push_back(
-            static_cast<Offset>(levels_[d + 1].keys.size()));
+            static_cast<Offset>(raw_keys[d + 1].size()));
       }
-      levels_[d].keys.push_back(cur[d]);
+      raw_keys[d].push_back(cur[d]);
     }
     cur.swap(prev);
   }
   // Close every node's child range with the final sentinel offset.
   for (int d = 0; d + 1 < arity; ++d) {
-    levels_[d].child.push_back(
-        static_cast<Offset>(levels_[d + 1].keys.size()));
+    levels_[d].child.push_back(static_cast<Offset>(raw_keys[d + 1].size()));
   }
-  rows_ = levels_[arity - 1].keys.size();
+  rows_ = raw_keys[arity - 1].size();
   assert(rows_ == n);
+
+  // Per-level tier selection. Degenerate shapes — empty tries and
+  // arity-1 relations (leaf-only probe structures whose every read is a
+  // decode, and the morsel scheduler's SplitPoints input) — never pick
+  // a compressed tier, whatever the policy.
+  const bool compressible = rows_ > 0 && arity > 1;
+  for (int d = 0; d < arity; ++d) {
+    levels_[d].keys.Build(std::move(raw_keys[d]), tier_policy, compressible);
+  }
 }
 
 void TrieIndex::EnsureColStats() const {
@@ -111,10 +106,12 @@ void TrieIndex::EnsureColStats() const {
     if (rows_ == 0) return;
     // Level 0 is globally sorted; deeper levels scan their (distinct,
     // contiguous) key array, never the full row set.
-    col_min_[0] = levels_[0].keys.front();
-    col_max_[0] = levels_[0].keys.back();
+    col_min_[0] = levels_[0].keys.At(0);
+    col_max_[0] = levels_[0].keys.At(levels_[0].keys.size() - 1);
     for (int c = 1; c < arity(); ++c) {
-      for (const Value v : levels_[c].keys) {
+      const LevelKeys& keys = levels_[c].keys;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const Value v = keys.At(i);
         col_min_[c] = std::min(col_min_[c], v);
         col_max_[c] = std::max(col_max_[c], v);
       }
@@ -124,11 +121,14 @@ void TrieIndex::EnsureColStats() const {
 
 std::vector<Value> TrieIndex::SplitPoints(int k) const {
   std::vector<Value> splits;
+  // Degenerate guards: nothing to split with one range, no rows, or a
+  // single level-0 key (the tail range must stay non-empty).
   if (k <= 1 || rows_ == 0) return splits;
-  const std::vector<Value>& keys = levels_[0].keys;
+  const LevelKeys& keys = levels_[0].keys;
+  const size_t n = keys.size();
+  if (n < 2) return splits;
   const std::vector<Offset>* child =
       arity() > 1 ? &levels_[0].child : nullptr;
-  const size_t n = keys.size();
   const uint64_t total = child != nullptr ? (*child)[n] : n;
   // One pass accumulating weight; key i becomes a split point when the
   // cumulative weight first reaches the next quantile target. total and
@@ -139,21 +139,13 @@ std::vector<Value> TrieIndex::SplitPoints(int k) const {
   for (size_t i = 0; i + 1 < n && j < parts; ++i) {
     cum += child != nullptr ? (*child)[i + 1] - (*child)[i] : 1;
     if (cum * parts >= total * j) {
-      splits.push_back(keys[i]);
+      splits.push_back(keys.At(i));
       // A hub key can swallow several quantiles; emit it once and skip
       // every target it already satisfies.
       while (j < parts && cum * parts >= total * j) ++j;
     }
   }
   return splits;
-}
-
-size_t TrieIndex::LowerBound(int depth, size_t lo, size_t hi, Value v) const {
-  return GallopKeys(levels_[depth].keys.data(), lo, hi, v, /*upper=*/false);
-}
-
-size_t TrieIndex::UpperBound(int depth, size_t lo, size_t hi, Value v) const {
-  return GallopKeys(levels_[depth].keys.data(), lo, hi, v, /*upper=*/true);
 }
 
 TrieIndex::GapProbe TrieIndex::SeekGap(const Tuple& t,
@@ -163,14 +155,14 @@ TrieIndex::GapProbe TrieIndex::SeekGap(const Tuple& t,
   size_t lo = 0, hi = LevelSize(0);
   for (int d = 0; d < arity(); ++d) {
     if (seek_counter != nullptr) ++*seek_counter;
-    const Value* keys = levels_[d].keys.data();
-    const size_t p = GallopKeys(keys, lo, hi, t[d], /*upper=*/false);
-    if (p == hi || keys[p] != t[d]) {
+    const LevelKeys& keys = levels_[d].keys;
+    const size_t p = keys.LowerBound(lo, hi, t[d]);
+    if (p == hi || keys.At(p) != t[d]) {
       // t[d] absent under this prefix: the gap is (glb, lub) at depth d.
       probe.found = false;
       probe.fail_pos = d;
-      probe.glb = p > lo ? keys[p - 1] : kNegInf;
-      probe.lub = p < hi ? keys[p] : kPosInf;
+      probe.glb = p > lo ? keys.At(p - 1) : kNegInf;
+      probe.lub = p < hi ? keys.At(p) : kPosInf;
       return probe;
     }
     if (d + 1 < arity()) {

@@ -9,9 +9,16 @@
 // each group) plus a parallel child-offset array into depth d+1 — the
 // classic CSR encoding. A node is (depth, index-into-that-level); its
 // children occupy [ChildBegin(d, i), ChildEnd(d, i)) at depth d+1.
-// Every hot operation therefore gallops over one contiguous Value
-// array per level instead of striding through row-major tuples, so a
-// seek touches full cache lines of keys and hardware prefetch engages.
+// Every hot operation therefore gallops over one contiguous key array
+// per level instead of striding through row-major tuples, so a seek
+// touches full cache lines of keys and hardware prefetch engages.
+//
+// Each level's key array lives behind a LevelKeys tier
+// (storage/level_keys.h): raw int64, fixed-width packed offsets, or
+// delta-encoded blocks, chosen per level at build time. Seeks run
+// through the runtime-dispatched SIMD block-search kernels
+// (storage/search_kernels.h) in the tier's native lane width; iterators
+// and engines stay layout-blind.
 //
 // The layout is built in a single pass over the (permutation-sorted)
 // rows of the source relation — no intermediate permuted Relation copy
@@ -32,16 +39,27 @@
 #include <mutex>
 #include <vector>
 
+#include "storage/level_keys.h"
 #include "storage/relation.h"
 #include "util/value.h"
 
 namespace wcoj {
 
+// Process-wide tier policy used by TrieIndex builds that don't pass an
+// explicit one (the IndexCatalog path). Returns the previous policy.
+// Like ForceSearchKernel, a setup/test knob, not a mid-query switch;
+// indexes already built keep the tiers they were built with.
+TierPolicy SetDefaultTierPolicy(TierPolicy policy);
+TierPolicy DefaultTierPolicy();
+
 class TrieIndex {
  public:
   // `perm[i]` = column of `rel` exposed at trie depth i. Identity if
   // empty; otherwise must be a full permutation of rel's columns.
-  TrieIndex(const Relation& rel, std::vector<int> perm = {});
+  // `tier_policy` governs per-level key compression; the default arg
+  // reads the process-wide policy at call time.
+  TrieIndex(const Relation& rel, std::vector<int> perm = {},
+            TierPolicy tier_policy = DefaultTierPolicy());
 
   int arity() const { return static_cast<int>(levels_.size()); }
   size_t size() const { return rows_; }  // leaf count == row count
@@ -53,10 +71,14 @@ class TrieIndex {
   // depth+1). The deepest level has size() nodes.
   size_t LevelSize(int depth) const { return levels_[depth].keys.size(); }
   Value KeyAt(int depth, size_t node) const {
-    return levels_[depth].keys[node];
+    return levels_[depth].keys.At(node);
   }
-  const Value* LevelKeys(int depth) const {
-    return levels_[depth].keys.data();
+  // The level's key array behind its tier-blind accessor.
+  const LevelKeys& Keys(int depth) const { return levels_[depth].keys; }
+  // Tier introspection for tests, benches, and reports.
+  KeyTier LevelTier(int depth) const { return levels_[depth].keys.tier(); }
+  size_t LevelKeyBytes(int depth) const {
+    return levels_[depth].keys.MemoryBytes();
   }
   // Children of node (depth, node) at depth+1; requires depth < arity-1.
   size_t ChildBegin(int depth, size_t node) const {
@@ -67,10 +89,15 @@ class TrieIndex {
   }
 
   // Least node index in [lo, hi) at `depth` whose key is >= v
-  // (LowerBound) resp. > v (UpperBound), galloping from lo. Used by the
-  // iterator and the baseline probe path; exposed for tests.
-  size_t LowerBound(int depth, size_t lo, size_t hi, Value v) const;
-  size_t UpperBound(int depth, size_t lo, size_t hi, Value v) const;
+  // (LowerBound) resp. > v (UpperBound), galloping from lo through the
+  // active search kernel. Used by the iterator and the baseline probe
+  // path; exposed for tests.
+  size_t LowerBound(int depth, size_t lo, size_t hi, Value v) const {
+    return levels_[depth].keys.LowerBound(lo, hi, v);
+  }
+  size_t UpperBound(int depth, size_t lo, size_t hi, Value v) const {
+    return levels_[depth].keys.UpperBound(lo, hi, v);
+  }
 
   // Min/max value of trie column `col` (a real system reads these from
   // index metadata). Level 0 is an O(1) read of the key array's ends;
@@ -117,7 +144,7 @@ class TrieIndex {
   using Offset = uint32_t;
 
   struct Level {
-    std::vector<Value> keys;     // distinct keys, grouped by parent
+    LevelKeys keys;              // distinct keys, grouped by parent
     std::vector<Offset> child;   // keys.size()+1 offsets into the next
                                  // level; empty at the deepest level
   };

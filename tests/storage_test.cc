@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "storage/catalog.h"
+#include "storage/level_keys.h"
 #include "storage/relation.h"
 #include "storage/trie.h"
 #include "util/rng.h"
@@ -313,74 +314,173 @@ TEST(TrieCsrPropertyTest, MatchesNaiveReferenceOnRandomRelations) {
       std::swap(perm[i], perm[rng.NextBounded(i + 1)]);
     }
     const Relation sorted = base.Permuted(perm);
-    TrieIndex index(base, perm);
-    ASSERT_EQ(index.size(), sorted.size()) << "trial " << trial;
+    // Every key tier must reproduce the naive reference identically —
+    // the layout is an invisible storage detail.
+    for (const TierPolicy policy :
+         {TierPolicy::kRawOnly, TierPolicy::kForcePacked,
+          TierPolicy::kForceDelta}) {
+      const char* tier_tag = TierPolicyName(policy);
+      TrieIndex index(base, perm, policy);
+      ASSERT_EQ(index.size(), sorted.size())
+          << "trial " << trial << " " << tier_tag;
+      Rng probe_rng(9000 + trial);
 
-    // (1) A full iterator walk reproduces the sorted relation exactly.
-    std::vector<Tuple> walked;
-    Tuple prefix;
-    TrieIterator it(&index);
-    EnumerateTrie(&it, arity, &prefix, &walked);
-    ASSERT_EQ(walked.size(), sorted.size()) << "trial " << trial;
-    for (size_t r = 0; r < sorted.size(); ++r) {
-      EXPECT_EQ(walked[r], sorted.RowTuple(r)) << "trial " << trial;
-    }
-
-    // (2) SeekGap agrees with the naive row-scan reference on random
-    // probes (mix of present rows and arbitrary tuples).
-    for (int probe_i = 0; probe_i < 50; ++probe_i) {
-      Tuple t(arity);
-      if (sorted.size() > 0 && probe_i % 3 == 0) {
-        t = sorted.RowTuple(rng.NextBounded(sorted.size()));
-        if (probe_i % 6 == 0) {
-          t[rng.NextBounded(arity)] += 1;  // perturb near real data
-        }
-      } else {
-        for (int c = 0; c < arity; ++c) {
-          t[c] = static_cast<Value>(rng.NextBounded(domain + 2)) - 1;
-        }
-      }
-      const auto expect = NaiveSeekGap(sorted, t);
-      const auto got = index.SeekGap(t);
-      EXPECT_EQ(got.found, expect.found) << "trial " << trial;
-      EXPECT_EQ(got.fail_pos, expect.fail_pos) << "trial " << trial;
-      EXPECT_EQ(got.glb, expect.glb) << "trial " << trial;
-      EXPECT_EQ(got.lub, expect.lub) << "trial " << trial;
-    }
-
-    // (3) Seek at a random depth matches a linear scan over the rows
-    // sharing the prefix of a randomly chosen existing row.
-    for (int probe_i = 0; probe_i < 20 && sorted.size() > 0; ++probe_i) {
-      const size_t row = rng.NextBounded(sorted.size());
-      const int depth = static_cast<int>(rng.NextBounded(arity));
-      const Value v = static_cast<Value>(rng.NextBounded(domain + 2)) - 1;
-      TrieIterator seek_it(&index);
-      seek_it.Open();
-      for (int d = 0; d < depth; ++d) {
-        seek_it.Seek(sorted.At(row, d));
-        ASSERT_FALSE(seek_it.AtEnd());
-        ASSERT_EQ(seek_it.Key(), sorted.At(row, d));
-        seek_it.Open();
-      }
-      seek_it.Seek(v);
-      // Reference: the prefix group's rows, scanned linearly.
-      Value expected = kPosInf;
+      // (1) A full iterator walk reproduces the sorted relation exactly.
+      std::vector<Tuple> walked;
+      Tuple prefix;
+      TrieIterator it(&index);
+      EnumerateTrie(&it, arity, &prefix, &walked);
+      ASSERT_EQ(walked.size(), sorted.size())
+          << "trial " << trial << " " << tier_tag;
       for (size_t r = 0; r < sorted.size(); ++r) {
-        bool same_group = true;
-        for (int d = 0; d < depth; ++d) {
-          same_group &= sorted.At(r, d) == sorted.At(row, d);
-        }
-        if (same_group && sorted.At(r, depth) >= v) {
-          expected = std::min(expected, sorted.At(r, depth));
-        }
+        EXPECT_EQ(walked[r], sorted.RowTuple(r))
+            << "trial " << trial << " " << tier_tag;
       }
-      if (expected == kPosInf) {
-        EXPECT_TRUE(seek_it.AtEnd()) << "trial " << trial;
-      } else {
-        ASSERT_FALSE(seek_it.AtEnd()) << "trial " << trial;
-        EXPECT_EQ(seek_it.Key(), expected) << "trial " << trial;
+
+      // (2) SeekGap agrees with the naive row-scan reference on random
+      // probes (mix of present rows and arbitrary tuples).
+      for (int probe_i = 0; probe_i < 50; ++probe_i) {
+        Tuple t(arity);
+        if (sorted.size() > 0 && probe_i % 3 == 0) {
+          t = sorted.RowTuple(probe_rng.NextBounded(sorted.size()));
+          if (probe_i % 6 == 0) {
+            t[probe_rng.NextBounded(arity)] += 1;  // perturb near real data
+          }
+        } else {
+          for (int c = 0; c < arity; ++c) {
+            t[c] = static_cast<Value>(probe_rng.NextBounded(domain + 2)) - 1;
+          }
+        }
+        const auto expect = NaiveSeekGap(sorted, t);
+        const auto got = index.SeekGap(t);
+        EXPECT_EQ(got.found, expect.found)
+            << "trial " << trial << " " << tier_tag;
+        EXPECT_EQ(got.fail_pos, expect.fail_pos)
+            << "trial " << trial << " " << tier_tag;
+        EXPECT_EQ(got.glb, expect.glb)
+            << "trial " << trial << " " << tier_tag;
+        EXPECT_EQ(got.lub, expect.lub)
+            << "trial " << trial << " " << tier_tag;
+      }
+
+      // (3) Seek at a random depth matches a linear scan over the rows
+      // sharing the prefix of a randomly chosen existing row.
+      for (int probe_i = 0; probe_i < 20 && sorted.size() > 0; ++probe_i) {
+        const size_t row = probe_rng.NextBounded(sorted.size());
+        const int depth = static_cast<int>(probe_rng.NextBounded(arity));
+        const Value v =
+            static_cast<Value>(probe_rng.NextBounded(domain + 2)) - 1;
+        TrieIterator seek_it(&index);
+        seek_it.Open();
+        for (int d = 0; d < depth; ++d) {
+          seek_it.Seek(sorted.At(row, d));
+          ASSERT_FALSE(seek_it.AtEnd());
+          ASSERT_EQ(seek_it.Key(), sorted.At(row, d));
+          seek_it.Open();
+        }
+        seek_it.Seek(v);
+        // Reference: the prefix group's rows, scanned linearly.
+        Value expected = kPosInf;
+        for (size_t r = 0; r < sorted.size(); ++r) {
+          bool same_group = true;
+          for (int d = 0; d < depth; ++d) {
+            same_group &= sorted.At(r, d) == sorted.At(row, d);
+          }
+          if (same_group && sorted.At(r, depth) >= v) {
+            expected = std::min(expected, sorted.At(r, depth));
+          }
+        }
+        if (expected == kPosInf) {
+          EXPECT_TRUE(seek_it.AtEnd())
+              << "trial " << trial << " " << tier_tag;
+        } else {
+          ASSERT_FALSE(seek_it.AtEnd())
+              << "trial " << trial << " " << tier_tag;
+          EXPECT_EQ(seek_it.Key(), expected)
+              << "trial " << trial << " " << tier_tag;
+        }
       }
     }
+  }
+}
+
+// --- Key-tier selection: heuristics and degenerate-shape guards ---
+
+TEST(KeyTierTest, AutoCompressesDenseLevelsAndKeepsSmallOnesRaw) {
+  // A dense two-column relation: level-1 keys are plentiful and narrow,
+  // so kAuto must pick a packed tier there. Level 0 has < kAutoMinKeys
+  // distinct keys and stays raw — compression below the threshold cannot
+  // pay for its decode cost.
+  Relation r(2);
+  for (Value a = 0; a < 16; ++a) {
+    for (Value b = 0; b < 50; ++b) r.Add({a, b * 3});
+  }
+  r.Build();
+  TrieIndex index(r, {}, TierPolicy::kAuto);
+  EXPECT_EQ(index.LevelTier(0), KeyTier::kRaw);
+  EXPECT_NE(index.LevelTier(1), KeyTier::kRaw);
+  EXPECT_LT(index.LevelKeyBytes(1), 16u * 50u * sizeof(Value));
+}
+
+TEST(KeyTierTest, DegenerateShapesNeverCompress) {
+  // Empty, arity-1, and single-key-per-level relations must stay raw
+  // under every policy, including the force policies.
+  Relation empty(2);
+  empty.Build();
+  Relation unary(1);
+  for (Value v = 0; v < 300; ++v) unary.Add({v});
+  unary.Build();
+  Relation single = Relation::FromTuples(2, {{7, 7}});
+  for (const TierPolicy policy :
+       {TierPolicy::kAuto, TierPolicy::kForcePacked,
+        TierPolicy::kForceDelta}) {
+    TrieIndex e(empty, {}, policy);
+    EXPECT_EQ(e.LevelTier(0), KeyTier::kRaw) << TierPolicyName(policy);
+    EXPECT_EQ(e.LevelTier(1), KeyTier::kRaw) << TierPolicyName(policy);
+    TrieIndex u(unary, {}, policy);
+    EXPECT_EQ(u.LevelTier(0), KeyTier::kRaw) << TierPolicyName(policy);
+    TrieIndex s(single, {}, policy);
+    EXPECT_EQ(s.LevelTier(0), KeyTier::kRaw) << TierPolicyName(policy);
+    EXPECT_EQ(s.LevelTier(1), KeyTier::kRaw) << TierPolicyName(policy);
+  }
+}
+
+TEST(KeyTierTest, Int64ExtremeDomainsStayRawUnderAuto) {
+  // Spans beyond 32 bits — including the full-int64 spans that overflow
+  // naive subtraction — are ineligible for both packed and delta tiers.
+  Relation r(2);
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    r.Add({static_cast<Value>(i % 8),
+           rng.NextBounded(2) == 0
+               ? kNegInf + 1 + static_cast<Value>(rng.NextBounded(500))
+               : kPosInf - 1 - static_cast<Value>(rng.NextBounded(500))});
+  }
+  r.Build();
+  for (const TierPolicy policy :
+       {TierPolicy::kAuto, TierPolicy::kForcePacked,
+        TierPolicy::kForceDelta}) {
+    TrieIndex index(r, {}, policy);
+    EXPECT_EQ(index.LevelTier(1), KeyTier::kRaw) << TierPolicyName(policy);
+  }
+}
+
+TEST(KeyTierTest, SplitPointsIdenticalAcrossTiers) {
+  // The morsel partitioner consumes SplitPoints; the choice of key tier
+  // must not perturb it.
+  Rng rng(121);
+  Relation r(2);
+  for (int i = 0; i < 400; ++i) {
+    r.Add({static_cast<Value>(rng.NextBounded(90)),
+           static_cast<Value>(rng.NextBounded(90))});
+  }
+  r.Build();
+  const TrieIndex raw(r, {}, TierPolicy::kRawOnly);
+  const TrieIndex packed(r, {}, TierPolicy::kForcePacked);
+  const TrieIndex delta(r, {}, TierPolicy::kForceDelta);
+  for (int k : {2, 3, 7, 16}) {
+    EXPECT_EQ(raw.SplitPoints(k), packed.SplitPoints(k)) << "k=" << k;
+    EXPECT_EQ(raw.SplitPoints(k), delta.SplitPoints(k)) << "k=" << k;
   }
 }
 

@@ -10,11 +10,15 @@
 // warm-catalog end-to-end query timings; see EmitCatalogReport),
 // BENCH_cds_arena.json (arena-backed CDS vs the pre-change pointer
 // implementation on insert/merge and ComputeFreeTuple-heavy workloads;
-// see EmitCdsArenaReport), and BENCH_morsel_sched.json (morsel-driven
+// see EmitCdsArenaReport), BENCH_morsel_sched.json (morsel-driven
 // work-stealing scheduling vs the pre-change static value-uniform
-// partitioner on skewed Rmat cells; see EmitMorselSchedReport).
+// partitioner on skewed Rmat cells, plus the cross-morsel CDS retention
+// pin; see EmitMorselSchedReport), and BENCH_persist.json (cold index
+// build vs mmap open of the persistent catalog, per tier policy, plus
+// the end-to-end warm-start query; see EmitPersistReport).
 
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +39,7 @@
 #include "query/parser.h"
 #include "storage/catalog.h"
 #include "storage/level_keys.h"
+#include "storage/persist.h"
 #include "storage/search_kernels.h"
 #include "storage/trie.h"
 #include "tests/cds_reference.h"
@@ -1121,6 +1126,11 @@ struct MorselCell {
   uint64_t count = 0;
   bool counts_equal = false;
   double static_seconds = 0.0, morsel_seconds = 0.0;
+  // Morsel scheduler with per-morsel CDS Reconfigure (the pre-change
+  // behavior, morsel_cds_reuse=false): the baseline the cross-morsel
+  // CDS retention win is pinned against. Only Minesweeper-family
+  // engines have a CDS, so for lftj the two columns coincide.
+  double morsel_noreuse_seconds = 0.0;
 };
 
 // Skewed cell: the triangle on an Rmat graph whose hub vertices sit
@@ -1158,9 +1168,9 @@ void EmitMorselSchedReport(const char* path) {
       // Resident indexes before the clock starts: the report measures
       // scheduling, not index builds.
       WarmQueryIndexes(bq);
-      ExecScratchPool static_scratch, morsel_scratch;
-      uint64_t static_count = 0, morsel_count = 0;
-      std::vector<double> stat, morsel;
+      ExecScratchPool static_scratch, morsel_scratch, noreuse_scratch;
+      uint64_t static_count = 0, morsel_count = 0, noreuse_count = 0;
+      std::vector<double> stat, morsel, noreuse;
       for (int rep = 0; rep < kReps; ++rep) {
         {
           Stopwatch w;
@@ -1178,11 +1188,23 @@ void EmitMorselSchedReport(const char* path) {
           morsel.push_back(w.ElapsedSeconds());
           morsel_count = r.count;
         }
+        {
+          ExecOptions off;
+          off.morsel_cds_reuse = false;
+          Stopwatch w;
+          const ExecResult r =
+              PartitionedExecute(*engine, bq, off, kThreads, kGranularity,
+                                 &noreuse_scratch, &pool);
+          noreuse.push_back(w.ElapsedSeconds());
+          noreuse_count = r.count;
+        }
       }
       cell.count = morsel_count;
-      cell.counts_equal = static_count == morsel_count;
+      cell.counts_equal =
+          static_count == morsel_count && noreuse_count == morsel_count;
       cell.static_seconds = MedianSeconds(stat);
       cell.morsel_seconds = MedianSeconds(morsel);
+      cell.morsel_noreuse_seconds = MedianSeconds(noreuse);
       cells.push_back(cell);
     }
   }
@@ -1201,14 +1223,178 @@ void EmitMorselSchedReport(const char* path) {
         f,
         "    {\"engine\": \"%s\", \"query\": \"%s\", "
         "\"static_seconds\": %.6f, \"morsel_seconds\": %.6f, "
-        "\"speedup\": %.3f, \"count\": %llu, \"counts_equal\": %s}%s\n",
+        "\"speedup\": %.3f, "
+        "\"morsel_noreuse_seconds\": %.6f, \"cds_reuse_speedup\": %.3f, "
+        "\"count\": %llu, \"counts_equal\": %s}%s\n",
         c.engine.c_str(), c.query.c_str(), c.static_seconds,
         c.morsel_seconds,
         c.morsel_seconds > 0 ? c.static_seconds / c.morsel_seconds : 0.0,
+        c.morsel_noreuse_seconds,
+        c.morsel_seconds > 0 ? c.morsel_noreuse_seconds / c.morsel_seconds
+                             : 0.0,
         static_cast<unsigned long long>(c.count),
         c.counts_equal ? "true" : "false", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+// --- Persistent catalog warm start (BENCH_persist.json) ---
+
+// What the persistent catalog buys and what it costs, per key tier
+// policy: cold TrieIndex build vs OpenIndex mmap (the headline — open
+// only maps and validates the header, so it must be >= 50x faster than
+// sorting and encoding the relation), the on-disk footprint, and a
+// probe-parity check between the built and the mapped index. Then the
+// end-to-end story on a triangle query: cold first query (pays the
+// index builds) vs first query after Database::LoadCatalog in a fresh
+// database (pays page faults only) vs the fully warm second query.
+void EmitPersistReport(const char* path) {
+  constexpr int kReps = 5;
+  constexpr int kProbes = 512;
+  Graph g = Rmat(/*scale=*/13, /*num_edges=*/300000, 0.57, 0.19, 0.19,
+                 /*seed=*/11);
+  const Relation edge_lt = g.EdgeRelationOriented();
+  const uint64_t fp = RelationFingerprint(edge_lt);
+
+  struct PolicyRow {
+    const char* policy;
+    double build_seconds = 0.0, open_seconds = 0.0;
+    uint64_t file_bytes = 0;
+    bool probes_equal = false, payload_ok = false;
+  };
+  std::vector<PolicyRow> rows;
+  const TierPolicy policies[] = {TierPolicy::kAuto, TierPolicy::kRawOnly,
+                                 TierPolicy::kForcePacked,
+                                 TierPolicy::kForceDelta};
+  const std::string file = "BENCH_persist_index.wct";
+  for (const TierPolicy policy : policies) {
+    PolicyRow row;
+    row.policy = TierPolicyName(policy);
+    std::vector<double> build, open;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch w;
+      const TrieIndex cold(edge_lt, {}, policy);
+      build.push_back(w.ElapsedSeconds());
+      benchmark::DoNotOptimize(cold.size());
+    }
+    const TrieIndex cold(edge_lt, {}, policy);
+    std::string err;
+    if (!SaveIndex(cold, fp, file, &err)) {
+      std::fprintf(stderr, "persist bench: save failed: %s\n", err.c_str());
+      return;
+    }
+    std::unique_ptr<TrieIndex> mapped;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch w;
+      mapped = OpenIndex(file, fp, &err);
+      open.push_back(w.ElapsedSeconds());
+      if (mapped == nullptr) {
+        std::fprintf(stderr, "persist bench: open failed: %s\n", err.c_str());
+        return;
+      }
+    }
+    row.build_seconds = MedianSeconds(build);
+    row.open_seconds = MedianSeconds(open);
+    row.payload_ok = VerifyIndexFile(file, &err);
+    struct stat st;
+    row.file_bytes = ::stat(file.c_str(), &st) == 0
+                         ? static_cast<uint64_t>(st.st_size)
+                         : 0;
+    // Probe parity: identical galloping seeks against both instances.
+    row.probes_equal = cold.size() == mapped->size();
+    Rng rng(17);
+    const Value span = cold.ColMax(0) - cold.ColMin(0) + 1;
+    for (int p = 0; p < kProbes && row.probes_equal; ++p) {
+      const Value v =
+          cold.ColMin(0) + static_cast<Value>(rng.NextBounded(span));
+      row.probes_equal = cold.LowerBound(0, 0, cold.LevelSize(0), v) ==
+                         mapped->LowerBound(0, 0, mapped->LevelSize(0), v);
+    }
+    rows.push_back(row);
+  }
+  std::remove(file.c_str());
+
+  // End-to-end warm start: same graph registered in two databases; the
+  // second one never builds, it maps what the first one saved. A small
+  // graph and the fast engine keep the query itself cheap, so the first
+  // query's latency is dominated by exactly what this row measures —
+  // index builds (cold) vs payload page faults (mmap).
+  const std::string dir = "BENCH_persist_catalog";
+  Graph qg = Rmat(/*scale=*/12, /*num_edges=*/60000, 0.57, 0.19, 0.19,
+                  /*seed=*/12);
+  const Query q =
+      MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  const std::vector<std::string> gao = {"a", "b", "c"};
+  Database db;
+  db.Put("edge_lt", qg.EdgeRelationOriented());
+  double cold_query;
+  uint64_t cold_count;
+  {
+    const BoundQuery bq = Bind(q, db, gao);
+    auto engine = CreateEngine("lftj");
+    const ExecResult r = RunTimed(*engine, bq, ExecOptions{});
+    cold_query = r.seconds;
+    cold_count = r.count;
+  }
+  std::string err;
+  const size_t saved = db.SaveCatalog(dir, &err);
+  Database db2;
+  db2.Put("edge_lt", qg.EdgeRelationOriented());
+  const size_t loaded = db2.LoadCatalog(dir, &err);
+  double mmap_first_query, warm_query;
+  uint64_t mmap_count, builds_after_load;
+  {
+    const BoundQuery bq = Bind(q, db2, gao);
+    auto engine = CreateEngine("lftj");
+    const ExecResult first = RunTimed(*engine, bq, ExecOptions{});
+    mmap_first_query = first.seconds;
+    mmap_count = first.count;
+    builds_after_load = first.stats.index_builds;
+    const ExecResult second = RunTimed(*engine, bq, ExecOptions{});
+    warm_query = second.seconds;
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"persist\",\n  \"reps\": %d,\n",
+               kReps);
+  std::fprintf(f, "  \"rows\": %llu,\n",
+               static_cast<unsigned long long>(edge_lt.size()));
+  std::fprintf(f, "  \"policies\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PolicyRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"policy\": \"%s\", \"build_seconds\": %.6f, "
+        "\"open_seconds\": %.6f, \"open_speedup\": %.1f, "
+        "\"open_speedup_ok\": %s, \"file_bytes\": %llu, "
+        "\"probes_equal\": %s, \"payload_checksum_ok\": %s}%s\n",
+        r.policy, r.build_seconds, r.open_seconds,
+        r.open_seconds > 0 ? r.build_seconds / r.open_seconds : 0.0,
+        r.build_seconds >= 50.0 * r.open_seconds ? "true" : "false",
+        static_cast<unsigned long long>(r.file_bytes),
+        r.probes_equal ? "true" : "false", r.payload_ok ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"warm_start\": {\"indexes_saved\": %llu, \"indexes_loaded\": "
+      "%llu, \"cold_first_query_seconds\": %.6f, "
+      "\"mmap_first_query_seconds\": %.6f, \"warm_query_seconds\": %.6f, "
+      "\"index_builds_after_load\": %llu, \"counts_equal\": %s, "
+      "\"count\": %llu}\n",
+      static_cast<unsigned long long>(saved),
+      static_cast<unsigned long long>(loaded), cold_query, mmap_first_query,
+      warm_query, static_cast<unsigned long long>(builds_after_load),
+      cold_count == mmap_count ? "true" : "false",
+      static_cast<unsigned long long>(cold_count));
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -1225,5 +1411,6 @@ int main(int argc, char** argv) {
   wcoj::EmitCatalogReport("BENCH_index_catalog.json");
   wcoj::EmitCdsArenaReport("BENCH_cds_arena.json");
   wcoj::EmitMorselSchedReport("BENCH_morsel_sched.json");
+  wcoj::EmitPersistReport("BENCH_persist.json");
   return 0;
 }

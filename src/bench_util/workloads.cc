@@ -104,6 +104,18 @@ std::map<std::string, const Relation*> DatasetRelations::Map() const {
           {"v4", &samples_[3]}};
 }
 
+size_t DatasetRelations::SaveCatalog(const std::string& dir,
+                                     std::string* error) const {
+  return catalog_.SaveTo(dir, error);
+}
+
+size_t DatasetRelations::LoadCatalog(const std::string& dir,
+                                     std::string* error) {
+  std::vector<const Relation*> live = {&edge_, &edge_lt_, &node_};
+  for (const Relation& s : samples_) live.push_back(&s);
+  return catalog_.OpenFrom(dir, live, error);
+}
+
 BoundQuery BindWorkload(const Workload& w, const DatasetRelations& rels) {
   const Query q = MustParseQuery(w.query_text);
   BoundQuery bq = Bind(q, rels.Map(), w.gao);

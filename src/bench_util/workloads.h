@@ -49,6 +49,15 @@ class DatasetRelations {
   std::map<std::string, const Relation*> Map() const;
   IndexCatalog* catalog() const { return &catalog_; }
 
+  // Persistent warm start (storage/persist.h): SaveCatalog snapshots the
+  // resident indexes to `dir`; LoadCatalog matches the directory's
+  // manifest against the dataset's current relations — including the
+  // current v1..v4 samples, so a Resample since the save leaves those
+  // entries stale and they rebuild in memory — and installs mmap-backed
+  // indexes. Both return the number of index files processed.
+  size_t SaveCatalog(const std::string& dir, std::string* error = nullptr) const;
+  size_t LoadCatalog(const std::string& dir, std::string* error = nullptr);
+
  private:
   Relation edge_, edge_lt_, node_;
   std::vector<Relation> samples_;  // v1..v4

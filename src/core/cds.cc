@@ -55,6 +55,19 @@ void Cds::Reconfigure(int num_vars, const Options& options) {
   Reset();
 }
 
+void Cds::ResumeRetainingTree() {
+  deadline_ = nullptr;
+  stop_ = nullptr;
+  timed_out_ = false;
+  poll_counter_ = 0;
+  depth_ = 0;
+  // See the header: in-progress rotations must not survive into a
+  // sweep over a different var0 range. Completeness already earned by
+  // full within-execution rotations stays — those marks are facts about
+  // the node's pattern, not about any particular range.
+  rotations_.assign(num_vars_, Rotation{});
+}
+
 void Cds::SetFrontier(const Tuple& t) {
   assert(static_cast<int>(t.size()) == num_vars_);
   for (int d = 0; d < num_vars_; ++d) {

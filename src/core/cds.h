@@ -74,6 +74,21 @@ class Cds {
   // serves one warm Cds shell to run after run (ExecScratch::AcquireCds).
   void Reconfigure(int num_vars, const Options& options);
 
+  // Rearms the shell for another execution of the SAME query over the
+  // SAME data while keeping the whole constraint tree. Stored gap boxes
+  // are facts about the indexed relations — independent of the var0
+  // range a morsel scans — so a later morsel of one partitioned run may
+  // start from every constraint its worker accumulated instead of
+  // re-deriving them (ExecScratch::AcquireCds's token-matched path).
+  // Only run control (deadline/stop/timeout/poll) is cleared, plus the
+  // Idea 6 rotation trackers: a rotation validated in one morsel and
+  // exhausted in a later, possibly non-adjacent (work-stolen) one would
+  // claim a contiguous floor-to-exhaustion sweep that never happened,
+  // so rotations — unlike the completeness marks they earn, which are
+  // per-pattern facts — must not span executions. The caller re-seeds
+  // the frontier via SetFrontier.
+  void ResumeRetainingTree();
+
   // Inserts a gap-box constraint (pattern walk from the root, interval at
   // the final node). Returns false if the constraint was subsumed by an
   // existing interval along the walk.

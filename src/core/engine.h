@@ -71,16 +71,31 @@ struct ExecScratch {
   // One warm Cds shell on top of the arena: Reconfigure()d to the run's
   // shape, it reuses its internal search vectors run after run. The
   // returned reference is invalidated by the next AcquireCds call.
-  Cds& AcquireCds(int num_vars, const Cds::Options& options) {
+  //
+  // `run_token` identifies one logical query execution that spans many
+  // engine invocations — the morsel scheduler stamps every morsel of a
+  // partitioned run with the same nonzero token. When a token matches
+  // the previous acquisition, the shell keeps its whole constraint tree
+  // (Cds::ResumeRetainingTree) instead of rebuilding it, so each morsel
+  // a worker picks up starts from everything the worker already learned
+  // about the data. Token 0 (the default) always reconfigures.
+  Cds& AcquireCds(int num_vars, const Cds::Options& options,
+                  uint64_t run_token = 0) {
     if (cds == nullptr) {
       cds = std::make_unique<Cds>(num_vars, options, &cds_arena);
+    } else if (run_token != 0 && run_token == cds_run_token) {
+      cds->ResumeRetainingTree();
+      cds_run_token = run_token;
+      return *cds;
     } else {
       cds->Reconfigure(num_vars, options);
     }
+    cds_run_token = run_token;
     return *cds;
   }
 
   std::unique_ptr<Cds> cds;
+  uint64_t cds_run_token = 0;
 };
 
 // Stable per-worker scratch slots for multi-threaded drivers: worker w
@@ -124,6 +139,15 @@ struct ExecOptions {
   // install their own to cancel a run externally. Must outlive the
   // execution. Engines only ever *read* it.
   StopToken* stop = nullptr;
+  // Nonzero when this execution is one morsel of a larger partitioned
+  // run: engines pass it to ExecScratch::AcquireCds so consecutive
+  // morsels on one worker keep the CDS constraint tree instead of
+  // paying a full Reconfigure each (see AcquireCds). Stamped by
+  // PartitionedExecute; single executions leave it 0.
+  uint64_t cds_run_token = 0;
+  // Lets PartitionedExecute stamp cds_run_token at all. Off restores
+  // the reconfigure-per-morsel behavior (bench ablation knob).
+  bool morsel_cds_reuse = true;
 
   // True when this execution should wind down: requested stop or expired
   // deadline. Engines poll the stop token every iteration (relaxed atomic

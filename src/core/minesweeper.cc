@@ -73,13 +73,21 @@ class MsRun {
     std::optional<Cds> local_cds;
     Cds* cds_ptr;
     if (opts_.scratch != nullptr) {
-      cds_ptr = &opts_.scratch->AcquireCds(q_.num_vars, cds_options);
+      cds_ptr = &opts_.scratch->AcquireCds(q_.num_vars, cds_options,
+                                           opts_.cds_run_token);
     } else {
       local_cds.emplace(q_.num_vars, cds_options);
       cds_ptr = &*local_cds;
     }
     Cds& cds = *cds_ptr;
     const CdsArena* arena = &cds.arena();
+    // Stats baselines: under morsel CDS retention (cds_run_token) the
+    // shell carries counters from earlier morsels of this run, so report
+    // this execution's contribution as deltas. After a Reconfigure the
+    // baselines are all zero, making this the plain totals too.
+    const uint64_t base_constraints = cds.constraints_inserted();
+    const uint64_t base_allocated = arena->nodes_allocated();
+    const uint64_t base_recycled = arena->nodes_recycled();
     cds.set_deadline(&opts_.deadline);
     cds.set_stop(opts_.stop);
     InsertDomainBounds(&cds);
@@ -211,9 +219,12 @@ class MsRun {
       }
     }
     if (cds.timed_out()) result_->timed_out = true;
-    result_->stats.constraints_inserted = cds.constraints_inserted();
-    result_->stats.cds_nodes_allocated += arena->nodes_allocated();
-    result_->stats.cds_nodes_recycled += arena->nodes_recycled();
+    result_->stats.constraints_inserted +=
+        cds.constraints_inserted() - base_constraints;
+    result_->stats.cds_nodes_allocated +=
+        arena->nodes_allocated() - base_allocated;
+    result_->stats.cds_nodes_recycled +=
+        arena->nodes_recycled() - base_recycled;
     result_->stats.cds_peak_arena_bytes =
         std::max(result_->stats.cds_peak_arena_bytes, arena->peak_bytes());
   }

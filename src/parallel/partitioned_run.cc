@@ -1,6 +1,7 @@
 #include "parallel/partitioned_run.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -241,6 +242,16 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
   StopToken run_stop(opts.stop);
   StopToken* stop = &run_stop;
 
+  // One nonzero token per partitioned run: every morsel carries it, so a
+  // worker's ExecScratch recognizes consecutive morsels of this run and
+  // keeps its CDS constraint tree across them (ExecScratch::AcquireCds)
+  // instead of reconfiguring per morsel. Constraints are facts about the
+  // data, valid for any var0 range; a different run (different token)
+  // still reconfigures from scratch.
+  static std::atomic<uint64_t> run_token_counter{0};
+  const uint64_t run_token =
+      opts.morsel_cds_reuse ? run_token_counter.fetch_add(1) + 1 : 0;
+
   std::mutex mu;
   std::vector<std::function<void(int)>> jobs;
   jobs.reserve(ranges.size());
@@ -259,6 +270,7 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       job_opts.var0_max = b;
       job_opts.stop = stop;
       job_opts.scratch = scratch_pool->ForWorker(worker);
+      job_opts.cds_run_token = run_token;
       ExecResult r = engine.Execute(q, job_opts);
       if (r.timed_out) stop->RequestStop();
       std::lock_guard<std::mutex> lock(mu);

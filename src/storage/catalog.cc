@@ -7,6 +7,12 @@ namespace wcoj {
 
 const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
                                           std::vector<int> perm, bool* built) {
+  // Normalize the identity spelling so `{}` and `{0..arity-1}` share a
+  // cache slot (and a persisted file).
+  if (perm.empty()) {
+    perm.resize(rel.arity());
+    for (int i = 0; i < rel.arity(); ++i) perm[i] = i;
+  }
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -20,6 +26,7 @@ const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
   bool did_build = false;
   std::call_once(entry->once, [&] {
     entry->index = std::make_unique<TrieIndex>(rel, std::move(perm));
+    entry->ready.store(true, std::memory_order_release);
     did_build = true;
     builds_.fetch_add(1, std::memory_order_relaxed);
   });

@@ -60,6 +60,30 @@ class IndexCatalog {
     return index;
   }
 
+  // --- Persistent catalog (implemented in storage/persist.cc) ---
+
+  // Writes every resident (fully built) index to `dir` as one versioned
+  // binary file each, plus a MANIFEST keyed on relation fingerprint +
+  // permutation + tier policy. Returns the number of files written;
+  // in-flight builds are skipped. Safe with concurrent GetOrBuild.
+  size_t SaveTo(const std::string& dir, std::string* error = nullptr);
+
+  // Reads `dir`'s MANIFEST and, for every entry whose fingerprint and
+  // arity match one of `live`'s relations and whose tier policy matches
+  // the current DefaultTierPolicy, mmaps the file and installs the
+  // zero-copy index. Stale fingerprints and truncated/corrupt files are
+  // skipped cleanly — those indexes simply build in memory on first
+  // use. Returns the number installed.
+  size_t OpenFrom(const std::string& dir,
+                  const std::vector<const Relation*>& live,
+                  std::string* error = nullptr);
+
+  // Seeds the (rel, perm) cache slot with an already-materialized index
+  // (the mmap warm-start path). Later GetOrBuild calls on the key count
+  // as cache hits; if the key is already built, `index` is dropped.
+  void Install(const Relation& rel, std::vector<int> perm,
+               std::unique_ptr<TrieIndex> index);
+
   // Drops every cached index built over `rel`. Use after replacing a
   // relation's contents in place; see the lifetime contract above.
   void Invalidate(const Relation* rel);
@@ -80,9 +104,12 @@ class IndexCatalog {
   };
   // Heap-allocated so waiting threads can hold the entry across the map
   // lock; once_flag serializes the build without blocking other keys.
+  // `ready` flips after the once fires — SaveTo's way of telling a
+  // completed index from one still mid-build.
   struct Entry {
     std::once_flag once;
     std::unique_ptr<TrieIndex> index;
+    std::atomic<bool> ready{false};
   };
 
   mutable std::mutex mu_;
@@ -113,6 +140,14 @@ class Database {
 
   size_t size() const { return relations_.size(); }
   IndexCatalog* catalog() const { return &catalog_; }
+
+  // Persistent warm start (storage/persist.cc): SaveCatalog snapshots
+  // the resident indexes to `dir`; LoadCatalog matches that directory's
+  // manifest against this database's current relations and installs the
+  // mmap-backed indexes, so the first query pays page faults instead of
+  // builds. Both return the number of index files processed.
+  size_t SaveCatalog(const std::string& dir, std::string* error = nullptr) const;
+  size_t LoadCatalog(const std::string& dir, std::string* error = nullptr);
 
  private:
   std::map<std::string, Relation> relations_;  // node stability = residency

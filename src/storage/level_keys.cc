@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "storage/search_kernels.h"
 
@@ -48,6 +49,33 @@ const char* TierPolicyName(TierPolicy policy) {
   return "auto";
 }
 
+bool ParseTierPolicyName(const char* name, TierPolicy* out) {
+  for (const TierPolicy p : {TierPolicy::kAuto, TierPolicy::kRawOnly,
+                             TierPolicy::kForcePacked,
+                             TierPolicy::kForceDelta}) {
+    if (std::strcmp(name, TierPolicyName(p)) == 0) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+void LevelKeys::ReleaseOwned() {
+  raw_store_.clear();
+  raw_store_.shrink_to_fit();
+  p8_store_.clear();
+  p8_store_.shrink_to_fit();
+  p16_store_.clear();
+  p16_store_.shrink_to_fit();
+  p32_store_.clear();
+  p32_store_.shrink_to_fit();
+  block_first_store_.clear();
+  block_first_store_.shrink_to_fit();
+  delta32_store_.clear();
+  delta32_store_.shrink_to_fit();
+}
+
 bool LevelKeys::TryPack(const std::vector<Value>& keys) {
   const auto [min_it, max_it] = std::minmax_element(keys.begin(), keys.end());
   const uint64_t span = Span(*min_it, *max_it);
@@ -55,22 +83,25 @@ bool LevelKeys::TryPack(const std::vector<Value>& keys) {
   base_ = *min_it;
   if (span <= UINT8_MAX) {
     tier_ = KeyTier::kPacked8;
-    p8_.reserve(keys.size());
+    p8_store_.reserve(keys.size());
     for (const Value k : keys) {
-      p8_.push_back(static_cast<uint8_t>(Span(base_, k)));
+      p8_store_.push_back(static_cast<uint8_t>(Span(base_, k)));
     }
+    p8_ = p8_store_.data();
   } else if (span <= UINT16_MAX) {
     tier_ = KeyTier::kPacked16;
-    p16_.reserve(keys.size());
+    p16_store_.reserve(keys.size());
     for (const Value k : keys) {
-      p16_.push_back(static_cast<uint16_t>(Span(base_, k)));
+      p16_store_.push_back(static_cast<uint16_t>(Span(base_, k)));
     }
+    p16_ = p16_store_.data();
   } else {
     tier_ = KeyTier::kPacked32;
-    p32_.reserve(keys.size());
+    p32_store_.reserve(keys.size());
     for (const Value k : keys) {
-      p32_.push_back(static_cast<uint32_t>(Span(base_, k)));
+      p32_store_.push_back(static_cast<uint32_t>(Span(base_, k)));
     }
+    p32_ = p32_store_.data();
   }
   return true;
 }
@@ -92,13 +123,17 @@ bool LevelKeys::TryDelta(const std::vector<Value>& keys) {
     delta.push_back(static_cast<uint32_t>(Span(bf, keys[i])));
   }
   tier_ = KeyTier::kDelta;
-  block_first_ = std::move(first);
-  delta32_ = std::move(delta);
+  block_first_store_ = std::move(first);
+  delta32_store_ = std::move(delta);
+  block_first_ = block_first_store_.data();
+  delta32_ = delta32_store_.data();
+  num_blocks_ = block_first_store_.size();
   return true;
 }
 
 void LevelKeys::Build(std::vector<Value> keys, TierPolicy policy,
                       bool compressible) {
+  *this = LevelKeys();  // drop any previous backing or view
   size_ = keys.size();
   tier_ = KeyTier::kRaw;
   if (compressible && size_ >= 2) {
@@ -117,11 +152,83 @@ void LevelKeys::Build(std::vector<Value> keys, TierPolicy policy,
     }
   }
   if (tier_ == KeyTier::kRaw) {
-    raw_ = std::move(keys);
-  } else {
-    raw_.clear();
-    raw_.shrink_to_fit();
+    raw_store_ = std::move(keys);
+    raw_ = raw_store_.data();
   }
+}
+
+void LevelKeys::BindRawView(const Value* keys, size_t n) {
+  *this = LevelKeys();
+  view_ = true;
+  tier_ = KeyTier::kRaw;
+  size_ = n;
+  raw_ = keys;
+}
+
+void LevelKeys::BindPackedView(KeyTier tier, Value base, const void* payload,
+                               size_t n) {
+  assert(tier == KeyTier::kPacked8 || tier == KeyTier::kPacked16 ||
+         tier == KeyTier::kPacked32);
+  *this = LevelKeys();
+  view_ = true;
+  tier_ = tier;
+  size_ = n;
+  base_ = base;
+  switch (tier) {
+    case KeyTier::kPacked8:
+      p8_ = static_cast<const uint8_t*>(payload);
+      break;
+    case KeyTier::kPacked16:
+      p16_ = static_cast<const uint16_t*>(payload);
+      break;
+    default:
+      p32_ = static_cast<const uint32_t*>(payload);
+      break;
+  }
+}
+
+void LevelKeys::BindDeltaView(const Value* block_first, size_t num_blocks,
+                              const uint32_t* deltas, size_t n) {
+  assert(num_blocks == (n + kBlockSize - 1) >> kBlockShift);
+  *this = LevelKeys();
+  view_ = true;
+  tier_ = KeyTier::kDelta;
+  size_ = n;
+  block_first_ = block_first;
+  delta32_ = deltas;
+  num_blocks_ = num_blocks;
+}
+
+const void* LevelKeys::PayloadData() const {
+  switch (tier_) {
+    case KeyTier::kRaw:
+      return raw_;
+    case KeyTier::kPacked8:
+      return p8_;
+    case KeyTier::kPacked16:
+      return p16_;
+    case KeyTier::kPacked32:
+      return p32_;
+    case KeyTier::kDelta:
+      return delta32_;
+  }
+  return nullptr;
+}
+
+size_t LevelKeys::PayloadBytes() const {
+  switch (tier_) {
+    case KeyTier::kRaw:
+      return size_ * sizeof(Value);
+    case KeyTier::kPacked8:
+      return size_ * sizeof(uint8_t);
+    case KeyTier::kPacked16:
+      return size_ * sizeof(uint16_t);
+    case KeyTier::kPacked32:
+      return size_ * sizeof(uint32_t);
+    case KeyTier::kDelta:
+      return size_ * sizeof(uint32_t);
+  }
+  return 0;
 }
 
 template <bool Upper>
@@ -148,8 +255,8 @@ size_t LevelKeys::DeltaSearch(size_t lo, size_t hi, Value v) const {
       const uint64_t target = Span(bf, v);
       if (target > UINT32_MAX) return b;  // every key <= bf + 2^32-1 < v
       const uint32_t t32 = static_cast<uint32_t>(target);
-      return Upper ? KernelUpperBound(delta32_.data(), a, b, t32)
-                   : KernelLowerBound(delta32_.data(), a, b, t32);
+      return Upper ? KernelUpperBound(delta32_, a, b, t32)
+                   : KernelLowerBound(delta32_, a, b, t32);
     }
     const size_t mid = a + (b - a) / 2;
     if (before(mid)) {
@@ -166,8 +273,8 @@ size_t LevelKeys::Search(size_t lo, size_t hi, Value v) const {
   if (lo >= hi) return lo;
   switch (tier_) {
     case KeyTier::kRaw:
-      return Upper ? KernelUpperBound(raw_.data(), lo, hi, v)
-                   : KernelLowerBound(raw_.data(), lo, hi, v);
+      return Upper ? KernelUpperBound(raw_, lo, hi, v)
+                   : KernelLowerBound(raw_, lo, hi, v);
     case KeyTier::kPacked8:
     case KeyTier::kPacked16:
     case KeyTier::kPacked32: {
@@ -179,19 +286,19 @@ size_t LevelKeys::Search(size_t lo, size_t hi, Value v) const {
       if (tier_ == KeyTier::kPacked8) {
         if (target > UINT8_MAX) return hi;
         const uint8_t t = static_cast<uint8_t>(target);
-        return Upper ? KernelUpperBound(p8_.data(), lo, hi, t)
-                     : KernelLowerBound(p8_.data(), lo, hi, t);
+        return Upper ? KernelUpperBound(p8_, lo, hi, t)
+                     : KernelLowerBound(p8_, lo, hi, t);
       }
       if (tier_ == KeyTier::kPacked16) {
         if (target > UINT16_MAX) return hi;
         const uint16_t t = static_cast<uint16_t>(target);
-        return Upper ? KernelUpperBound(p16_.data(), lo, hi, t)
-                     : KernelLowerBound(p16_.data(), lo, hi, t);
+        return Upper ? KernelUpperBound(p16_, lo, hi, t)
+                     : KernelLowerBound(p16_, lo, hi, t);
       }
       if (target > UINT32_MAX) return hi;
       const uint32_t t = static_cast<uint32_t>(target);
-      return Upper ? KernelUpperBound(p32_.data(), lo, hi, t)
-                   : KernelLowerBound(p32_.data(), lo, hi, t);
+      return Upper ? KernelUpperBound(p32_, lo, hi, t)
+                   : KernelLowerBound(p32_, lo, hi, t);
     }
     case KeyTier::kDelta:
       return DeltaSearch<Upper>(lo, hi, v);
@@ -208,18 +315,19 @@ size_t LevelKeys::UpperBound(size_t lo, size_t hi, Value v) const {
 }
 
 size_t LevelKeys::MemoryBytes() const {
+  if (view_) return 0;  // mapped bytes are owned by the file mapping
   switch (tier_) {
     case KeyTier::kRaw:
-      return raw_.size() * sizeof(Value);
+      return raw_store_.size() * sizeof(Value);
     case KeyTier::kPacked8:
-      return p8_.size() * sizeof(uint8_t);
+      return p8_store_.size() * sizeof(uint8_t);
     case KeyTier::kPacked16:
-      return p16_.size() * sizeof(uint16_t);
+      return p16_store_.size() * sizeof(uint16_t);
     case KeyTier::kPacked32:
-      return p32_.size() * sizeof(uint32_t);
+      return p32_store_.size() * sizeof(uint32_t);
     case KeyTier::kDelta:
-      return block_first_.size() * sizeof(Value) +
-             delta32_.size() * sizeof(uint32_t);
+      return block_first_store_.size() * sizeof(Value) +
+             delta32_store_.size() * sizeof(uint32_t);
   }
   return 0;
 }

@@ -32,6 +32,14 @@
 // raw, including under the force policies the tests sweep. The
 // differential harness (tests/kernel_differential_test.cc) pins every
 // (kernel, tier) pair against the scalar/raw oracle.
+//
+// Storage is a pointer + backing pair: every tier reads through const
+// pointers, which normally aim at vectors the LevelKeys owns (Build),
+// but can instead be bound to externally owned bytes (BindRawView /
+// BindPackedView / BindDeltaView) — the zero-copy path the persistent
+// catalog (storage/persist.h) uses to serve a level straight out of an
+// mmap'd file. View-backed levels hold no heap memory and decode
+// exactly like owned ones; the mapping must outlive the LevelKeys.
 
 #include <cstddef>
 #include <cstdint>
@@ -52,9 +60,20 @@ enum class TierPolicy : uint8_t { kAuto, kRawOnly, kForcePacked, kForceDelta };
 
 const char* TierName(KeyTier tier);
 const char* TierPolicyName(TierPolicy policy);
+// Inverse of TierPolicyName; false on unknown names.
+bool ParseTierPolicyName(const char* name, TierPolicy* out);
 
 class LevelKeys {
  public:
+  LevelKeys() = default;
+  // The decode pointers aim into the owned stores, so a member-wise copy
+  // would alias another object's backing; moves are fine (vector moves
+  // keep their heap buffers, so the pointers stay valid).
+  LevelKeys(const LevelKeys&) = delete;
+  LevelKeys& operator=(const LevelKeys&) = delete;
+  LevelKeys(LevelKeys&&) = default;
+  LevelKeys& operator=(LevelKeys&&) = default;
+
   // Under kAuto, levels below this key count always stay raw.
   static constexpr size_t kAutoMinKeys = 64;
   // Delta tier block geometry (64 keys per block).
@@ -67,8 +86,33 @@ class LevelKeys {
   // tier is pinned to kRaw whatever the policy says.
   void Build(std::vector<Value> keys, TierPolicy policy, bool compressible);
 
+  // --- Non-owning views (the storage/persist.h mmap path) ---
+  //
+  // Bind this level to encoded payloads owned elsewhere (a mapped
+  // catalog file). The bytes must stay valid and immutable for the
+  // LevelKeys' lifetime and be aligned to the element width. Any owned
+  // backing is released; MemoryBytes() reports 0 afterwards.
+  void BindRawView(const Value* keys, size_t n);
+  void BindPackedView(KeyTier tier, Value base, const void* payload,
+                      size_t n);
+  void BindDeltaView(const Value* block_first, size_t num_blocks,
+                     const uint32_t* deltas, size_t n);
+
+  // --- Encoded-payload introspection (serialization support) ---
+  //
+  // The tier's main array (raw keys, packed offsets, or delta offsets)
+  // exactly as decoded reads see it; PayloadBytes is its size. The
+  // delta tier additionally exposes its per-block base array.
+  const void* PayloadData() const;
+  size_t PayloadBytes() const;
+  Value packed_base() const { return base_; }
+  const Value* delta_block_first() const { return block_first_; }
+  size_t delta_num_blocks() const { return num_blocks_; }
+
   size_t size() const { return size_; }
   KeyTier tier() const { return tier_; }
+  // True when this level reads externally owned bytes (BindXxxView).
+  bool is_view() const { return view_; }
 
   // Decodes the key at index i. O(1) for every tier.
   Value At(size_t i) const {
@@ -95,7 +139,8 @@ class LevelKeys {
   size_t UpperBound(size_t lo, size_t hi, Value v) const;
 
   // Heap bytes held by the encoded key array (the packed-vs-raw axis in
-  // BENCH_trie_layout.json).
+  // BENCH_trie_layout.json). View-backed levels own nothing and report
+  // 0; PayloadBytes() sizes the encoded array regardless of ownership.
   size_t MemoryBytes() const;
 
  private:
@@ -106,18 +151,30 @@ class LevelKeys {
 
   bool TryPack(const std::vector<Value>& keys);
   bool TryDelta(const std::vector<Value>& keys);
+  void ReleaseOwned();
 
   KeyTier tier_ = KeyTier::kRaw;
   size_t size_ = 0;
-  std::vector<Value> raw_;  // kRaw
+  bool view_ = false;
+  // Decode pointers: aimed at the owned stores below, or at mapped
+  // bytes in view mode. Only the active tier's pointers are set.
+  const Value* raw_ = nullptr;  // kRaw
   // kPacked*: key = base_ + p{w}_[i]
   Value base_ = 0;
-  std::vector<uint8_t> p8_;
-  std::vector<uint16_t> p16_;
-  std::vector<uint32_t> p32_;
+  const uint8_t* p8_ = nullptr;
+  const uint16_t* p16_ = nullptr;
+  const uint32_t* p32_ = nullptr;
   // kDelta: key = block_first_[i >> kBlockShift] + delta32_[i]
-  std::vector<Value> block_first_;
-  std::vector<uint32_t> delta32_;
+  const Value* block_first_ = nullptr;
+  const uint32_t* delta32_ = nullptr;
+  size_t num_blocks_ = 0;
+  // Owned backing (empty in view mode).
+  std::vector<Value> raw_store_;
+  std::vector<uint8_t> p8_store_;
+  std::vector<uint16_t> p16_store_;
+  std::vector<uint32_t> p32_store_;
+  std::vector<Value> block_first_store_;
+  std::vector<uint32_t> delta32_store_;
 };
 
 }  // namespace wcoj

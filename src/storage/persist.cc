@@ -1,0 +1,621 @@
+#include "storage/persist.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/level_keys.h"
+
+namespace wcoj {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'C', 'O', 'J', 'T', 'R', 'I', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kEndianTag = 0x01020304;  // reads back 0x04030201 if swapped
+constexpr uint32_t kMaxArity = 64;
+constexpr size_t kSectionAlign = 64;
+constexpr char kManifestMagic[] = "WCOJCAT 1";
+
+// Fixed-size little-endian header; followed by int32_t perm[arity] and
+// LevelSection[arity], then the 64-byte-aligned payload sections.
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian;
+  uint64_t header_bytes;      // aligned end of header+perm+section table
+  uint64_t file_bytes;        // exact total size; mismatch = truncation
+  uint64_t header_checksum;   // FNV-1a over [0, header_bytes), field zeroed
+  uint64_t payload_checksum;  // FNV-1a over [header_bytes, file_bytes)
+  uint64_t fingerprint;       // RelationFingerprint of the source relation
+  uint32_t arity;
+  uint32_t tier_policy;
+  uint64_t rows;
+};
+static_assert(sizeof(FileHeader) == 72, "on-disk layout is versioned");
+
+struct LevelSection {
+  uint32_t tier;  // KeyTier
+  uint32_t reserved;
+  uint64_t key_count;
+  int64_t packed_base;   // kPacked* frame-of-reference base
+  uint64_t keys_off;     // main payload: raw keys / packed lanes / delta32
+  uint64_t keys_bytes;
+  uint64_t aux_off;      // kDelta only: block_first array
+  uint64_t aux_bytes;
+  uint64_t child_off;    // CSR child offsets; 0/0 at the deepest level
+  uint64_t child_bytes;
+};
+static_assert(sizeof(LevelSection) == 72, "on-disk layout is versioned");
+
+uint64_t Fnv1a(const void* data, size_t n,
+               uint64_t h = 14695981039346656037ULL) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t Align64(size_t off) {
+  return (off + (kSectionAlign - 1)) & ~(kSectionAlign - 1);
+}
+
+size_t HeaderBytes(uint32_t arity) {
+  return Align64(sizeof(FileHeader) +
+                 arity * (sizeof(int32_t) + sizeof(LevelSection)));
+}
+
+size_t TierElemBytes(KeyTier tier) {
+  switch (tier) {
+    case KeyTier::kRaw:
+      return sizeof(Value);
+    case KeyTier::kPacked8:
+      return 1;
+    case KeyTier::kPacked16:
+      return 2;
+    case KeyTier::kPacked32:
+    case KeyTier::kDelta:
+      return 4;
+  }
+  return 0;
+}
+
+bool Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+// Read-only mapping of a whole file; the mapping (not the path) is what
+// mapped TrieIndexes keep alive.
+class MappedFile {
+ public:
+  static std::shared_ptr<MappedFile> Map(const std::string& path,
+                                         std::string* error) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      Fail(error, "cannot open " + path);
+      return nullptr;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+      ::close(fd);
+      Fail(error, "cannot stat (or empty) " + path);
+      return nullptr;
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping holds its own reference
+    if (data == MAP_FAILED) {
+      Fail(error, "mmap failed for " + path);
+      return nullptr;
+    }
+    return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+  }
+
+  ~MappedFile() { ::munmap(data_, size_); }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* data, size_t size) : data_(data), size_(size) {}
+  void* data_;
+  size_t size_;
+};
+
+// A section's [off, off+bytes) must sit inside the payload region,
+// 64-byte aligned; arithmetic in uint64 with explicit overflow guards
+// because every field is attacker-controlled until validated.
+bool SectionInBounds(uint64_t off, uint64_t bytes, uint64_t header_bytes,
+                     uint64_t file_bytes) {
+  if (off % kSectionAlign != 0) return false;
+  if (off < header_bytes || off > file_bytes) return false;
+  return bytes <= file_bytes - off;
+}
+
+}  // namespace
+
+// Friend of TrieIndex: reads the private CSR arrays for serialization
+// and assembles mapped instances field-by-field via the private default
+// constructor. Lives here so trie.h stays independent of the format.
+class TrieIndexMapper {
+ public:
+  static const TrieIndex::Offset* Child(const TrieIndex& index, int depth) {
+    return index.levels_[depth].child;
+  }
+
+  static std::unique_ptr<TrieIndex> Assemble(
+      const FileHeader& h, const std::vector<int>& perm,
+      const std::vector<LevelSection>& secs,
+      std::shared_ptr<MappedFile> file) {
+    std::unique_ptr<TrieIndex> index(new TrieIndex());
+    const uint8_t* base = file->data();
+    index->rows_ = h.rows;
+    index->perm_ = perm;
+    index->tier_policy_ = static_cast<TierPolicy>(h.tier_policy);
+    index->levels_.resize(h.arity);
+    for (uint32_t d = 0; d < h.arity; ++d) {
+      const LevelSection& s = secs[d];
+      LevelKeys& keys = index->levels_[d].keys;
+      switch (static_cast<KeyTier>(s.tier)) {
+        case KeyTier::kRaw:
+          keys.BindRawView(reinterpret_cast<const Value*>(base + s.keys_off),
+                           s.key_count);
+          break;
+        case KeyTier::kPacked8:
+        case KeyTier::kPacked16:
+        case KeyTier::kPacked32:
+          keys.BindPackedView(static_cast<KeyTier>(s.tier), s.packed_base,
+                              base + s.keys_off, s.key_count);
+          break;
+        case KeyTier::kDelta:
+          keys.BindDeltaView(
+              reinterpret_cast<const Value*>(base + s.aux_off),
+              s.aux_bytes / sizeof(Value),
+              reinterpret_cast<const uint32_t*>(base + s.keys_off),
+              s.key_count);
+          break;
+      }
+      if (d + 1 < h.arity) {
+        index->levels_[d].child =
+            reinterpret_cast<const TrieIndex::Offset*>(base + s.child_off);
+      }
+    }
+    index->mmap_backing_ = std::move(file);
+    return index;
+  }
+};
+
+uint64_t RelationFingerprint(const Relation& rel) {
+  assert(rel.built());
+  const uint64_t meta[2] = {static_cast<uint64_t>(rel.arity()), rel.size()};
+  uint64_t h = Fnv1a(meta, sizeof(meta));
+  if (rel.size() > 0) {
+    h = Fnv1a(rel.Row(0), rel.size() * rel.arity() * sizeof(Value), h);
+  }
+  return h;
+}
+
+const char* CatalogManifestName() { return "MANIFEST"; }
+
+bool SaveIndex(const TrieIndex& index, uint64_t fingerprint,
+               const std::string& path, std::string* error) {
+  const int arity = index.arity();
+  assert(arity >= 1 && arity <= static_cast<int>(kMaxArity));
+
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kFormatVersion;
+  h.endian = kEndianTag;
+  h.header_bytes = HeaderBytes(arity);
+  h.fingerprint = fingerprint;
+  h.arity = static_cast<uint32_t>(arity);
+  h.tier_policy = static_cast<uint32_t>(index.tier_policy());
+  h.rows = index.size();
+
+  // Lay out the sections, then assemble the whole file in memory: index
+  // files are bounded by the relation's in-memory footprint, and a
+  // single buffer makes the two checksums and the atomic write trivial.
+  std::vector<LevelSection> secs(arity);
+  size_t off = h.header_bytes;
+  for (int d = 0; d < arity; ++d) {
+    const LevelKeys& keys = index.Keys(d);
+    LevelSection& s = secs[d];
+    s.tier = static_cast<uint32_t>(keys.tier());
+    s.key_count = keys.size();
+    s.packed_base = keys.packed_base();
+    s.keys_off = Align64(off);
+    s.keys_bytes = keys.PayloadBytes();
+    off = s.keys_off + s.keys_bytes;
+    if (keys.tier() == KeyTier::kDelta) {
+      s.aux_off = Align64(off);
+      s.aux_bytes = keys.delta_num_blocks() * sizeof(Value);
+      off = s.aux_off + s.aux_bytes;
+    }
+    if (d + 1 < arity) {
+      s.child_off = Align64(off);
+      s.child_bytes = (keys.size() + 1) * sizeof(TrieIndex::Offset);
+      off = s.child_off + s.child_bytes;
+    }
+  }
+  h.file_bytes = off;
+
+  std::vector<uint8_t> buf(h.file_bytes, 0);
+  size_t cursor = sizeof(FileHeader);
+  for (int d = 0; d < arity; ++d) {
+    const int32_t col = index.perm()[d];
+    std::memcpy(buf.data() + cursor, &col, sizeof(col));
+    cursor += sizeof(col);
+  }
+  std::memcpy(buf.data() + cursor, secs.data(),
+              secs.size() * sizeof(LevelSection));
+  for (int d = 0; d < arity; ++d) {
+    const LevelKeys& keys = index.Keys(d);
+    const LevelSection& s = secs[d];
+    if (s.keys_bytes > 0) {
+      std::memcpy(buf.data() + s.keys_off, keys.PayloadData(), s.keys_bytes);
+    }
+    if (s.aux_bytes > 0) {
+      std::memcpy(buf.data() + s.aux_off, keys.delta_block_first(),
+                  s.aux_bytes);
+    }
+    if (s.child_bytes > 0) {
+      std::memcpy(buf.data() + s.child_off, TrieIndexMapper::Child(index, d),
+                  s.child_bytes);
+    }
+  }
+  h.payload_checksum =
+      Fnv1a(buf.data() + h.header_bytes, h.file_bytes - h.header_bytes);
+  h.header_checksum = 0;
+  std::memcpy(buf.data(), &h, sizeof(h));
+  h.header_checksum = Fnv1a(buf.data(), h.header_bytes);
+  std::memcpy(buf.data(), &h, sizeof(h));
+
+  // Write-then-rename so a crash mid-save never leaves a half file
+  // behind the manifest's back.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(reinterpret_cast<const char*>(buf.data()), buf.size())) {
+      return Fail(error, "write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Fail(error, "rename failed: " + path);
+  return true;
+}
+
+namespace {
+
+std::unique_ptr<TrieIndex> OpenImpl(const std::string& path,
+                                    uint64_t expected_fingerprint,
+                                    bool check_fingerprint,
+                                    bool verify_payload, std::string* error) {
+  std::shared_ptr<MappedFile> file = MappedFile::Map(path, error);
+  if (file == nullptr) return nullptr;
+  const uint8_t* base = file->data();
+  auto reject = [&](const std::string& what) -> std::unique_ptr<TrieIndex> {
+    Fail(error, path + ": " + what);
+    return nullptr;
+  };
+
+  if (file->size() < sizeof(FileHeader)) return reject("truncated header");
+  FileHeader h;
+  std::memcpy(&h, base, sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return reject("bad magic");
+  }
+  if (h.version != kFormatVersion) {
+    return reject("unsupported format version " + std::to_string(h.version));
+  }
+  if (h.endian != kEndianTag) return reject("endianness mismatch");
+  if (h.arity < 1 || h.arity > kMaxArity) return reject("implausible arity");
+  if (h.header_bytes != HeaderBytes(h.arity)) {
+    return reject("header size mismatch");
+  }
+  if (h.file_bytes != file->size()) return reject("truncated or padded file");
+  if (h.tier_policy > static_cast<uint32_t>(TierPolicy::kForceDelta)) {
+    return reject("unknown tier policy");
+  }
+
+  // Header checksum: the stored bytes with the checksum field zeroed.
+  std::vector<uint8_t> hdr(base, base + h.header_bytes);
+  std::memset(hdr.data() + offsetof(FileHeader, header_checksum), 0,
+              sizeof(uint64_t));
+  if (Fnv1a(hdr.data(), hdr.size()) != h.header_checksum) {
+    return reject("header checksum mismatch");
+  }
+  if (check_fingerprint && h.fingerprint != expected_fingerprint) {
+    return reject("stale fingerprint");
+  }
+
+  std::vector<int> perm(h.arity);
+  std::vector<bool> seen(h.arity, false);
+  const int32_t* perm32 =
+      reinterpret_cast<const int32_t*>(base + sizeof(FileHeader));
+  for (uint32_t d = 0; d < h.arity; ++d) {
+    const int32_t c = perm32[d];
+    if (c < 0 || c >= static_cast<int32_t>(h.arity) || seen[c]) {
+      return reject("invalid permutation");
+    }
+    seen[c] = true;
+    perm[d] = c;
+  }
+
+  std::vector<LevelSection> secs(h.arity);
+  std::memcpy(secs.data(),
+              base + sizeof(FileHeader) + h.arity * sizeof(int32_t),
+              h.arity * sizeof(LevelSection));
+  for (uint32_t d = 0; d < h.arity; ++d) {
+    const LevelSection& s = secs[d];
+    if (s.tier > static_cast<uint32_t>(KeyTier::kDelta)) {
+      return reject("unknown key tier");
+    }
+    const KeyTier tier = static_cast<KeyTier>(s.tier);
+    if (s.key_count > UINT32_MAX) return reject("level too large");
+    if (s.keys_bytes != s.key_count * TierElemBytes(tier) ||
+        !SectionInBounds(s.keys_off, s.keys_bytes, h.header_bytes,
+                         h.file_bytes)) {
+      return reject("malformed key section");
+    }
+    if (tier == KeyTier::kDelta) {
+      const uint64_t blocks = (s.key_count + LevelKeys::kBlockSize - 1) >>
+                              LevelKeys::kBlockShift;
+      if (s.aux_bytes != blocks * sizeof(Value) ||
+          !SectionInBounds(s.aux_off, s.aux_bytes, h.header_bytes,
+                           h.file_bytes)) {
+        return reject("malformed delta section");
+      }
+    } else if (s.aux_off != 0 || s.aux_bytes != 0) {
+      return reject("unexpected aux section");
+    }
+    if (d + 1 < h.arity) {
+      if (s.child_bytes != (s.key_count + 1) * sizeof(TrieIndex::Offset) ||
+          !SectionInBounds(s.child_off, s.child_bytes, h.header_bytes,
+                           h.file_bytes)) {
+        return reject("malformed child section");
+      }
+    } else {
+      if (s.child_off != 0 || s.child_bytes != 0) {
+        return reject("unexpected child section");
+      }
+      if (s.key_count != h.rows) return reject("leaf count != rows");
+    }
+  }
+  // One word per level: each child array's closing sentinel must equal
+  // the next level's key count, the invariant every ChildEnd range
+  // ultimately chains up to. Touches at most one page per level.
+  for (uint32_t d = 0; d + 1 < h.arity; ++d) {
+    const TrieIndex::Offset* child =
+        reinterpret_cast<const TrieIndex::Offset*>(base + secs[d].child_off);
+    if (child[secs[d].key_count] != secs[d + 1].key_count) {
+      return reject("child sentinel mismatch");
+    }
+  }
+
+  if (verify_payload) {
+    const uint64_t sum =
+        Fnv1a(base + h.header_bytes, h.file_bytes - h.header_bytes);
+    if (sum != h.payload_checksum) return reject("payload checksum mismatch");
+  }
+
+  return TrieIndexMapper::Assemble(h, perm, secs, std::move(file));
+}
+
+}  // namespace
+
+std::unique_ptr<TrieIndex> OpenIndex(const std::string& path,
+                                     uint64_t expected_fingerprint,
+                                     std::string* error,
+                                     const PersistOptions& opts) {
+  return OpenImpl(path, expected_fingerprint, /*check_fingerprint=*/true,
+                  opts.verify_payload, error);
+}
+
+bool VerifyIndexFile(const std::string& path, std::string* error) {
+  return OpenImpl(path, 0, /*check_fingerprint=*/false,
+                  /*verify_payload=*/true, error) != nullptr;
+}
+
+// --- IndexCatalog / Database persistence (declared in catalog.h) ---
+
+namespace {
+
+std::string JoinPerm(const std::vector<int>& perm, char sep) {
+  std::string out;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += std::to_string(perm[i]);
+  }
+  return out;
+}
+
+std::string IndexFileName(uint64_t fingerprint, const std::vector<int>& perm,
+                          TierPolicy policy) {
+  std::ostringstream name;
+  name << "trie_" << std::hex << fingerprint << std::dec << "_p"
+       << JoinPerm(perm, '-') << "_" << TierPolicyName(policy) << ".wct";
+  return name.str();
+}
+
+}  // namespace
+
+size_t IndexCatalog::SaveTo(const std::string& dir, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    Fail(error, "cannot create " + dir);
+    return 0;
+  }
+  // Snapshot under the map lock; completed entries are immutable after
+  // their once_flag fires, so the writes below run lock-free.
+  std::vector<std::pair<Key, std::shared_ptr<Entry>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(entries_.begin(), entries_.end());
+  }
+  std::ostringstream manifest;
+  manifest << kManifestMagic << "\n";
+  size_t saved = 0;
+  std::vector<std::string> written;
+  for (const auto& [key, entry] : snapshot) {
+    if (!entry->ready.load(std::memory_order_acquire)) continue;  // in-flight
+    const TrieIndex* index = entry->index.get();
+    const uint64_t fp = RelationFingerprint(*key.rel);
+    const std::string name = IndexFileName(fp, index->perm(),
+                                           index->tier_policy());
+    // Two relations with identical contents share a fingerprint and
+    // would serialize to identical files; write once.
+    bool dup = false;
+    for (const std::string& w : written) dup |= w == name;
+    if (dup) continue;
+    const std::string path = dir + "/" + name;
+    if (!SaveIndex(*index, fp, path, error)) return saved;
+    written.push_back(name);
+    std::ostringstream fp_hex;
+    fp_hex << std::hex << fp;
+    manifest << name << " " << fp_hex.str() << " "
+             << TierPolicyName(index->tier_policy()) << " "
+             << index->arity() << " " << index->size() << " "
+             << JoinPerm(index->perm(), ',') << "\n";
+    ++saved;
+  }
+  const std::string manifest_path =
+      dir + "/" + std::string(CatalogManifestName());
+  const std::string tmp = manifest_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out || !(out << manifest.str())) {
+      Fail(error, "write failed: " + tmp);
+      return saved;
+    }
+  }
+  std::filesystem::rename(tmp, manifest_path, ec);
+  if (ec) Fail(error, "rename failed: " + manifest_path);
+  return saved;
+}
+
+void IndexCatalog::Install(const Relation& rel, std::vector<int> perm,
+                           std::unique_ptr<TrieIndex> index) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[Key{&rel, std::move(perm)}];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  // Fire the entry's once_flag with the mapped index, so every later
+  // GetOrBuild on this key is a cache hit (index_builds stays 0 across
+  // a warm start). If the key was already built, the mapped instance is
+  // simply dropped — first writer wins, same as racing builders.
+  std::call_once(entry->once, [&] {
+    entry->index = std::move(index);
+    entry->ready.store(true, std::memory_order_release);
+  });
+}
+
+size_t IndexCatalog::OpenFrom(const std::string& dir,
+                              const std::vector<const Relation*>& live,
+                              std::string* error) {
+  std::ifstream in(dir + "/" + std::string(CatalogManifestName()));
+  if (!in) {
+    Fail(error, "no catalog manifest in " + dir);
+    return 0;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    Fail(error, "bad manifest magic in " + dir);
+    return 0;
+  }
+  // Fingerprint each live relation once; an index file is loadable only
+  // for relations whose current contents still hash to its manifest key
+  // (Resample/Put invalidation shows up here as a mismatch).
+  std::vector<uint64_t> live_fp(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    live_fp[i] = RelationFingerprint(*live[i]);
+  }
+  const TierPolicy current_policy = DefaultTierPolicy();
+  size_t installed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string name, fp_hex, policy_name, perm_csv;
+    uint64_t arity = 0, rows = 0;
+    if (!(fields >> name >> fp_hex >> policy_name >> arity >> rows >>
+          perm_csv)) {
+      continue;  // malformed entry: skip, callers rebuild on demand
+    }
+    uint64_t fp = 0;
+    try {
+      fp = std::stoull(fp_hex, nullptr, 16);
+    } catch (...) {
+      continue;
+    }
+    TierPolicy policy;
+    if (!ParseTierPolicyName(policy_name.c_str(), &policy)) continue;
+    // Tier policy is part of the index identity: files encoded under a
+    // different policy than this process would build with are stale.
+    if (policy != current_policy) continue;
+    std::vector<int> perm;
+    std::istringstream perm_in(perm_csv);
+    std::string col;
+    while (std::getline(perm_in, col, ',')) {
+      try {
+        perm.push_back(std::stoi(col));
+      } catch (...) {
+        perm.clear();
+        break;
+      }
+    }
+    if (perm.size() != arity) continue;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live_fp[i] != fp ||
+          static_cast<uint64_t>(live[i]->arity()) != arity) {
+        continue;
+      }
+      std::string open_error;
+      std::unique_ptr<TrieIndex> index =
+          OpenIndex(dir + "/" + name, fp, &open_error);
+      if (index == nullptr) {
+        // Corrupt/truncated/missing file: reject this entry cleanly;
+        // the in-memory build path covers it.
+        Fail(error, open_error);
+        continue;
+      }
+      Install(*live[i], perm, std::move(index));
+      ++installed;
+    }
+  }
+  return installed;
+}
+
+size_t Database::SaveCatalog(const std::string& dir,
+                             std::string* error) const {
+  return catalog_.SaveTo(dir, error);
+}
+
+size_t Database::LoadCatalog(const std::string& dir, std::string* error) {
+  std::vector<const Relation*> live;
+  live.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) live.push_back(&rel);
+  return catalog_.OpenFrom(dir, live, error);
+}
+
+}  // namespace wcoj

@@ -1,0 +1,96 @@
+#ifndef WCOJ_STORAGE_PERSIST_H_
+#define WCOJ_STORAGE_PERSIST_H_
+
+// Persistent on-disk trie catalog: one versioned binary file per
+// TrieIndex, mmap'd back as the index's backing store with zero
+// deserialization.
+//
+// The CSR trie (storage/trie.h) is already flat-array data: per level,
+// one encoded key payload (raw int64 / FoR-packed u8/u16/u32 / delta
+// blocks, see storage/level_keys.h) plus a u32 child-offset array. The
+// file format writes those arrays verbatim behind a self-describing
+// header, each section 64-byte aligned, so OpenIndex can mmap the file
+// and bind every LevelKeys to the mapped bytes through its view mode.
+// Nothing is decoded at open: the kernel pages bytes in on first touch,
+// which is what makes a warm start orders of magnitude cheaper than a
+// rebuild (and what BENCH_persist.json's first-query-after-open row
+// measures).
+//
+// File layout (all little-endian, version 1):
+//
+//   +--------------------------------------------------------------+
+//   | FileHeader   magic "WCOJTRI1", version, endian tag,          |
+//   |              header/file byte counts, header checksum,       |
+//   |              payload checksum, relation fingerprint,         |
+//   |              arity, tier policy, rows                        |
+//   | int32_t      perm[arity]                                     |
+//   | LevelSection sections[arity]  (tier, key count, packed base, |
+//   |              keys/aux/child offset+bytes)                    |
+//   +---- 64-byte aligned sections, in level order ----------------+
+//   | level 0: key payload | [delta block_first] | child offsets   |
+//   | level 1: ...                                                 |
+//   +--------------------------------------------------------------+
+//
+// Integrity model: OpenIndex validates everything reachable without
+// paging in the payload — magic, version (future versions rejected),
+// endianness, exact file size (catches truncation), a checksum over the
+// header region, fingerprint match, and per-section bounds/alignment/
+// size arithmetic — plus one sentinel offset per level. The payload
+// checksum covers the section bytes but is only verified by
+// VerifyIndexFile (or PersistOptions::verify_payload), because checking
+// it at open would fault in the whole file and erase the warm-start win.
+// Every rejection is a clean error return; callers fall back to an
+// in-memory build.
+//
+// Lifetime: a mapped TrieIndex owns its file mapping (a shared_ptr kept
+// inside the index), so the usual catalog contract is unchanged — the
+// mapping lives exactly as long as the index. The *file* must not be
+// rewritten in place while mapped; SaveTo always writes fresh files.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/relation.h"
+#include "storage/trie.h"
+
+namespace wcoj {
+
+// Content fingerprint (FNV-1a over arity, row count, and every value in
+// row-major order). The manifest key that detects stale catalog files
+// when the underlying relation changed (e.g. DatasetRelations::Resample
+// drawing new node samples).
+uint64_t RelationFingerprint(const Relation& rel);
+
+struct PersistOptions {
+  // Verify the payload checksum at open. Faults in the entire file, so
+  // it trades the lazy warm start for cold-storage integrity; tests and
+  // one-shot tools want it, the serving path does not.
+  bool verify_payload = false;
+};
+
+// Writes `index` to `path` (replacing any existing file). `fingerprint`
+// is the source relation's RelationFingerprint, stored in the header
+// and re-checked at open. False with *error set on I/O failure.
+bool SaveIndex(const TrieIndex& index, uint64_t fingerprint,
+               const std::string& path, std::string* error = nullptr);
+
+// Maps `path` and returns a TrieIndex serving directly out of the
+// mapping, or null with *error describing the rejection (missing file,
+// truncation, bad magic/version/checksum, fingerprint mismatch,
+// malformed section table). The returned index owns the mapping.
+std::unique_ptr<TrieIndex> OpenIndex(const std::string& path,
+                                     uint64_t expected_fingerprint,
+                                     std::string* error = nullptr,
+                                     const PersistOptions& opts = {});
+
+// Full-file validation: everything OpenIndex checks plus the payload
+// checksum. For tests and offline catalog audits.
+bool VerifyIndexFile(const std::string& path, std::string* error = nullptr);
+
+// Name of the manifest file inside a catalog directory.
+const char* CatalogManifestName();
+
+}  // namespace wcoj
+
+#endif  // WCOJ_STORAGE_PERSIST_H_

@@ -23,7 +23,7 @@ TierPolicy DefaultTierPolicy() {
 
 TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm,
                      TierPolicy tier_policy)
-    : perm_(std::move(perm)) {
+    : perm_(std::move(perm)), tier_policy_(tier_policy) {
   assert(rel.built());
   const int arity = rel.arity();
   if (perm_.empty()) {
@@ -75,7 +75,7 @@ TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm,
     }
     for (; d < arity; ++d) {
       if (d + 1 < arity) {
-        levels_[d].child.push_back(
+        levels_[d].child_store.push_back(
             static_cast<Offset>(raw_keys[d + 1].size()));
       }
       raw_keys[d].push_back(cur[d]);
@@ -84,7 +84,8 @@ TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm,
   }
   // Close every node's child range with the final sentinel offset.
   for (int d = 0; d + 1 < arity; ++d) {
-    levels_[d].child.push_back(static_cast<Offset>(raw_keys[d + 1].size()));
+    levels_[d].child_store.push_back(
+        static_cast<Offset>(raw_keys[d + 1].size()));
   }
   rows_ = raw_keys[arity - 1].size();
   assert(rows_ == n);
@@ -96,6 +97,7 @@ TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm,
   const bool compressible = rows_ > 0 && arity > 1;
   for (int d = 0; d < arity; ++d) {
     levels_[d].keys.Build(std::move(raw_keys[d]), tier_policy, compressible);
+    if (d + 1 < arity) levels_[d].child = levels_[d].child_store.data();
   }
 }
 
@@ -127,9 +129,8 @@ std::vector<Value> TrieIndex::SplitPoints(int k) const {
   const LevelKeys& keys = levels_[0].keys;
   const size_t n = keys.size();
   if (n < 2) return splits;
-  const std::vector<Offset>* child =
-      arity() > 1 ? &levels_[0].child : nullptr;
-  const uint64_t total = child != nullptr ? (*child)[n] : n;
+  const Offset* child = arity() > 1 ? levels_[0].child : nullptr;
+  const uint64_t total = child != nullptr ? child[n] : n;
   // One pass accumulating weight; key i becomes a split point when the
   // cumulative weight first reaches the next quantile target. total and
   // k both fit comfortably below 2^32, so total * j stays in uint64.
@@ -137,7 +138,7 @@ std::vector<Value> TrieIndex::SplitPoints(int k) const {
   uint64_t j = 1;
   const uint64_t parts = static_cast<uint64_t>(k);
   for (size_t i = 0; i + 1 < n && j < parts; ++i) {
-    cum += child != nullptr ? (*child)[i + 1] - (*child)[i] : 1;
+    cum += child != nullptr ? child[i + 1] - child[i] : 1;
     if (cum * parts >= total * j) {
       splits.push_back(keys.At(i));
       // A hub key can swallow several quantiles; emit it once and skip

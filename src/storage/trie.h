@@ -36,6 +36,7 @@
 // amortized O(1 + log distance), which both algorithms' analyses assume.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -64,6 +65,13 @@ class TrieIndex {
   int arity() const { return static_cast<int>(levels_.size()); }
   size_t size() const { return rows_; }  // leaf count == row count
   const std::vector<int>& perm() const { return perm_; }
+  // The policy this index was built (or persisted) under; part of the
+  // persistent catalog's manifest key.
+  TierPolicy tier_policy() const { return tier_policy_; }
+  // True when the index is a zero-copy view over a mapped catalog file
+  // (storage/persist.h); the mapping is owned by this index and dies
+  // with it.
+  bool mapped() const { return mmap_backing_ != nullptr; }
 
   // --- CSR level accessors ---
 
@@ -138,22 +146,34 @@ class TrieIndex {
   // seeks into *seek_counter when provided.
   GapProbe SeekGap(const Tuple& t, uint64_t* seek_counter = nullptr) const;
 
- private:
+ public:
   // Child offsets are 32-bit: a level never holds more nodes than the
   // relation has rows, and 4-byte offsets keep the CSR arrays dense.
+  // (Public: the on-disk format in storage/persist.* stores them.)
   using Offset = uint32_t;
 
+ private:
   struct Level {
-    LevelKeys keys;              // distinct keys, grouped by parent
-    std::vector<Offset> child;   // keys.size()+1 offsets into the next
-                                 // level; empty at the deepest level
+    LevelKeys keys;             // distinct keys, grouped by parent
+    const Offset* child = nullptr;  // keys.size()+1 offsets into the next
+                                    // level; null at the deepest level
+    std::vector<Offset> child_store;  // owned backing; empty when mapped
   };
+
+  // Assembled field-by-field by the persist layer's mapper, which binds
+  // every level to sections of an mmap'd file instead of building.
+  TrieIndex() = default;
+  friend class TrieIndexMapper;  // storage/persist.cc
 
   void EnsureColStats() const;
 
   std::vector<Level> levels_;  // levels_[d] = trie depth d
   size_t rows_ = 0;
   std::vector<int> perm_;
+  TierPolicy tier_policy_ = TierPolicy::kAuto;
+  // Keeps the mapped file alive for view-backed indexes (type-erased so
+  // this header does not depend on storage/persist.h).
+  std::shared_ptr<const void> mmap_backing_;
   // Per-trie-column metadata; lazily filled under col_stats_once_.
   mutable std::once_flag col_stats_once_;
   mutable std::vector<Value> col_min_, col_max_;

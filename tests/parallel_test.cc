@@ -339,6 +339,58 @@ TEST(PartitionedRunTest, WorkerScratchIsReusedAcrossPartitionJobs) {
   EXPECT_GT(warm.stats.cds_nodes_recycled, 0u);
 }
 
+// Morsel CDS retention (PR 7): within one partitioned run a worker keeps
+// its constraint tree across morsels instead of reconfiguring per morsel.
+// Constraints are facts about the data — valid for any var0 range — so
+// the answer must be bit-identical with retention on, off, and serial;
+// and on a deterministic single-thread schedule retention must strictly
+// reduce the constraints re-derived.
+TEST(PartitionedRunTest, MorselCdsRetentionPreservesResults) {
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  for (const char* name : {"ms", "#ms", "hybrid"}) {
+    auto engine = CreateEngine(name);
+    ExecOptions serial_opts;
+    serial_opts.collect_tuples = true;
+    const ExecResult serial = engine->Execute(bq, serial_opts);
+
+    ExecOptions reuse_opts;
+    reuse_opts.collect_tuples = true;
+    const ExecResult reuse = PartitionedExecute(
+        *engine, bq, reuse_opts, /*num_threads=*/3, /*granularity=*/8);
+
+    ExecOptions noreuse_opts;
+    noreuse_opts.collect_tuples = true;
+    noreuse_opts.morsel_cds_reuse = false;
+    const ExecResult noreuse = PartitionedExecute(
+        *engine, bq, noreuse_opts, /*num_threads=*/3, /*granularity=*/8);
+
+    EXPECT_EQ(reuse.count, serial.count) << name;
+    EXPECT_EQ(noreuse.count, serial.count) << name;
+    // PartitionedExecute sorts collected tuples; sort the serial run's
+    // for an order-insensitive exact comparison.
+    std::vector<Tuple> expected = serial.tuples;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(reuse.tuples, expected) << name;
+    EXPECT_EQ(noreuse.tuples, expected) << name;
+
+    // Single-threaded: both runs see the same morsels in the same order,
+    // so retention's saved re-derivations are directly comparable.
+    const ExecResult r1 = PartitionedExecute(
+        *engine, bq, ExecOptions{}, /*num_threads=*/1, /*granularity=*/8);
+    ExecOptions off;
+    off.morsel_cds_reuse = false;
+    const ExecResult r0 = PartitionedExecute(
+        *engine, bq, off, /*num_threads=*/1, /*granularity=*/8);
+    EXPECT_EQ(r1.count, serial.count) << name;
+    EXPECT_EQ(r0.count, serial.count) << name;
+    EXPECT_LT(r1.stats.constraints_inserted, r0.stats.constraints_inserted)
+        << name;
+  }
+}
+
 TEST(PartitionedRunTest, CollectedTuplesAreCompleteAndSorted) {
   Graph g = ErdosRenyi(30, 90, 8);
   GraphRelations rels = MakeGraphRelations(g);

@@ -1,0 +1,400 @@
+#include "storage/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "storage/catalog.h"
+#include "storage/level_keys.h"
+#include "storage/relation.h"
+#include "storage/trie.h"
+#include "util/rng.h"
+
+namespace wcoj {
+namespace {
+
+// Fresh per-test scratch directory under the gtest temp root.
+std::string TestDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "wcoj_persist_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// Full DFS through the iterator interface: the exact tuple set and the
+// order every engine above observes.
+void WalkInto(TrieIterator& it, int arity, Tuple& cur,
+              std::vector<Tuple>& out) {
+  it.Open();
+  while (!it.AtEnd()) {
+    cur.push_back(it.Key());
+    if (static_cast<int>(cur.size()) == arity) {
+      out.push_back(cur);
+    } else {
+      WalkInto(it, arity, cur, out);
+    }
+    cur.pop_back();
+    it.Next();
+  }
+  it.Up();
+}
+
+std::vector<Tuple> Walk(const TrieIndex& index) {
+  std::vector<Tuple> out;
+  if (index.size() == 0) return out;
+  TrieIterator it(&index);
+  Tuple cur;
+  WalkInto(it, index.arity(), cur, out);
+  return out;
+}
+
+// The degenerate and adversarial relation shapes the tiers must survive.
+struct Shape {
+  const char* name;
+  int arity;
+  std::vector<Tuple> tuples;
+};
+
+std::vector<Shape> Shapes() {
+  std::vector<Shape> shapes;
+  shapes.push_back({"empty", 3, {}});
+  Shape unary{"arity1", 1, {}};
+  for (Value v = 0; v < 300; v += 3) unary.tuples.push_back({v});
+  shapes.push_back(std::move(unary));
+  Shape hub{"all_dup_prefix", 2, {}};  // one hub key owns every child
+  for (Value v = 0; v < 200; ++v) hub.tuples.push_back({7, v * v});
+  shapes.push_back(std::move(hub));
+  Shape extreme{"int64_extreme", 2, {}};  // spans defeat every encoder
+  for (const Value a : {kNegInf + 1, Value{-(1LL << 62)}, Value{-5}, Value{0},
+                        Value{1LL << 62}, kPosInf - 1}) {
+    extreme.tuples.push_back({a, -a});
+    extreme.tuples.push_back({a, a / 2});
+  }
+  shapes.push_back(std::move(extreme));
+  Shape dense{"dense_triple", 3, {}};  // small spans: the packed tiers
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    dense.tuples.push_back({static_cast<Value>(rng.NextBounded(40)),
+                            static_cast<Value>(rng.NextBounded(200)),
+                            static_cast<Value>(rng.NextBounded(100000))});
+  }
+  shapes.push_back(std::move(dense));
+  return shapes;
+}
+
+const std::vector<TierPolicy> kAllPolicies = {
+    TierPolicy::kAuto, TierPolicy::kRawOnly, TierPolicy::kForcePacked,
+    TierPolicy::kForceDelta};
+
+TEST(PersistRoundTripTest, BitIdenticalAcrossPoliciesAndShapes) {
+  const std::string dir = TestDir("roundtrip");
+  for (const Shape& shape : Shapes()) {
+    Relation rel = Relation::FromTuples(shape.arity, shape.tuples);
+    const uint64_t fp = RelationFingerprint(rel);
+    for (const TierPolicy policy : kAllPolicies) {
+      SCOPED_TRACE(std::string(shape.name) + "/" + TierPolicyName(policy));
+      TrieIndex built(rel, {}, policy);
+      const std::string path = dir + "/" + shape.name + "_" +
+                               TierPolicyName(policy) + ".wct";
+      std::string error;
+      ASSERT_TRUE(SaveIndex(built, fp, path, &error)) << error;
+      ASSERT_TRUE(VerifyIndexFile(path, &error)) << error;
+      std::unique_ptr<TrieIndex> mapped = OpenIndex(path, fp, &error);
+      ASSERT_NE(mapped, nullptr) << error;
+
+      EXPECT_TRUE(mapped->mapped());
+      EXPECT_FALSE(built.mapped());
+      EXPECT_EQ(mapped->arity(), built.arity());
+      EXPECT_EQ(mapped->size(), built.size());
+      EXPECT_EQ(mapped->perm(), built.perm());
+      EXPECT_EQ(mapped->tier_policy(), built.tier_policy());
+      for (int d = 0; d < built.arity(); ++d) {
+        EXPECT_EQ(mapped->LevelTier(d), built.LevelTier(d)) << "level " << d;
+        EXPECT_EQ(mapped->LevelSize(d), built.LevelSize(d)) << "level " << d;
+        // View-backed levels own no heap memory.
+        EXPECT_EQ(mapped->LevelKeyBytes(d), 0u);
+        EXPECT_TRUE(mapped->Keys(d).is_view());
+      }
+      EXPECT_EQ(Walk(*mapped), Walk(built));
+
+      // Seek parity at every level boundary value +- 1.
+      if (built.size() > 0) {
+        const size_t n0 = built.LevelSize(0);
+        for (size_t i = 0; i < n0; ++i) {
+          const Value k = built.KeyAt(0, i);
+          for (const Value probe : {k, k == kNegInf + 1 ? k : k - 1,
+                                    k == kPosInf - 1 ? k : k + 1}) {
+            EXPECT_EQ(mapped->LowerBound(0, 0, n0, probe),
+                      built.LowerBound(0, 0, n0, probe));
+            EXPECT_EQ(mapped->UpperBound(0, 0, n0, probe),
+                      built.UpperBound(0, 0, n0, probe));
+          }
+        }
+        // SeekGap parity on present and perturbed tuples.
+        for (const Tuple& t : shape.tuples) {
+          for (int jitter = -1; jitter <= 1; ++jitter) {
+            Tuple probe = t;
+            // int64_extreme places kPosInf itself in the last column.
+            if ((jitter > 0 && probe.back() == kPosInf) ||
+                (jitter < 0 && probe.back() == kNegInf)) {
+              continue;
+            }
+            probe.back() += jitter;
+            const auto a = built.SeekGap(probe);
+            const auto b = mapped->SeekGap(probe);
+            EXPECT_EQ(a.found, b.found);
+            EXPECT_EQ(a.fail_pos, b.fail_pos);
+            EXPECT_EQ(a.glb, b.glb);
+            EXPECT_EQ(a.lub, b.lub);
+          }
+        }
+        EXPECT_EQ(mapped->SplitPoints(8), built.SplitPoints(8));
+        for (int c = 0; c < built.arity(); ++c) {
+          EXPECT_EQ(mapped->ColMin(c), built.ColMin(c));
+          EXPECT_EQ(mapped->ColMax(c), built.ColMax(c));
+        }
+      }
+    }
+  }
+}
+
+TEST(PersistRoundTripTest, NonIdentityPermutationSurvives) {
+  const std::string dir = TestDir("perm");
+  Relation rel = Relation::FromTuples(3, {{1, 20, 300}, {2, 10, 100},
+                                          {2, 30, 200}, {5, 10, 400}});
+  const uint64_t fp = RelationFingerprint(rel);
+  TrieIndex built(rel, {2, 0, 1});
+  const std::string path = dir + "/perm.wct";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(built, fp, path, &error)) << error;
+  std::unique_ptr<TrieIndex> mapped = OpenIndex(path, fp, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+  EXPECT_EQ(mapped->perm(), (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(Walk(*mapped), Walk(built));
+}
+
+// --- Corruption / compatibility rejection ---
+
+class PersistCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TestDir("corrupt");
+    Relation rel = Relation::FromTuples(2, {{1, 2}, {1, 3}, {4, 5}, {6, 7}});
+    fp_ = RelationFingerprint(rel);
+    TrieIndex index(rel);
+    path_ = dir_ + "/index.wct";
+    std::string error;
+    ASSERT_TRUE(SaveIndex(index, fp_, path_, &error)) << error;
+    bytes_ = ReadFile(path_);
+    ASSERT_GT(bytes_.size(), 72u);
+  }
+
+  // Expect a clean rejection (null + error message, no crash).
+  void ExpectRejected(const std::string& why) {
+    std::string error;
+    EXPECT_EQ(OpenIndex(path_, fp_, &error), nullptr) << why;
+    EXPECT_FALSE(error.empty()) << why;
+  }
+
+  std::string dir_, path_, bytes_;
+  uint64_t fp_ = 0;
+};
+
+TEST_F(PersistCorruptionTest, TruncatedFileRejected) {
+  for (const size_t keep :
+       {size_t{0}, size_t{8}, size_t{71}, bytes_.size() / 2,
+        bytes_.size() - 1}) {
+    WriteFile(path_, bytes_.substr(0, keep));
+    ExpectRejected("truncated to " + std::to_string(keep));
+  }
+}
+
+TEST_F(PersistCorruptionTest, FlippedChecksumByteRejected) {
+  // header_checksum lives at byte offset 40 in the header.
+  std::string corrupt = bytes_;
+  corrupt[40] ^= 0x5a;
+  WriteFile(path_, corrupt);
+  ExpectRejected("flipped checksum byte");
+}
+
+TEST_F(PersistCorruptionTest, FlippedHeaderByteRejected) {
+  std::string corrupt = bytes_;
+  corrupt[60] ^= 0x01;  // inside the fingerprint/arity region
+  WriteFile(path_, corrupt);
+  ExpectRejected("flipped header byte");
+}
+
+TEST_F(PersistCorruptionTest, WrongMagicRejected) {
+  std::string corrupt = bytes_;
+  corrupt[0] = 'X';
+  WriteFile(path_, corrupt);
+  ExpectRejected("wrong magic");
+}
+
+TEST_F(PersistCorruptionTest, FutureVersionRejected) {
+  // version is the uint32 at offset 8; checked before the checksum so a
+  // reader from the past gives the right error for a file from the
+  // future.
+  std::string corrupt = bytes_;
+  corrupt[8] = 99;
+  WriteFile(path_, corrupt);
+  ExpectRejected("future version");
+}
+
+TEST_F(PersistCorruptionTest, StaleFingerprintRejected) {
+  std::string error;
+  EXPECT_EQ(OpenIndex(path_, fp_ + 1, &error), nullptr);
+  EXPECT_NE(error.find("stale"), std::string::npos);
+}
+
+TEST_F(PersistCorruptionTest, PayloadFlipCaughtByVerifyOnly) {
+  // Open validates the header region lazily by design; a payload flip
+  // is VerifyIndexFile's job.
+  std::string corrupt = bytes_;
+  corrupt[bytes_.size() - 1] ^= 0xff;
+  WriteFile(path_, corrupt);
+  std::string error;
+  EXPECT_NE(OpenIndex(path_, fp_, &error), nullptr) << error;
+  EXPECT_FALSE(VerifyIndexFile(path_, &error));
+  EXPECT_NE(error.find("payload"), std::string::npos);
+}
+
+// --- Catalog-level save / open ---
+
+Relation TriangleEdges() {
+  Relation edge(2);
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const Value a = static_cast<Value>(rng.NextBounded(60));
+    const Value b = static_cast<Value>(rng.NextBounded(60));
+    if (a == b) continue;
+    edge.Add({a, b});
+    edge.Add({b, a});
+  }
+  edge.Build();
+  return edge;
+}
+
+struct EngineRun {
+  uint64_t count;
+  std::vector<Tuple> tuples;
+  EngineStats stats;
+};
+
+EngineRun RunTriangle(const Database& db, const std::string& engine_name) {
+  const Query q = MustParseQuery("edge(a,b), edge(b,c), edge(a,c)");
+  BoundQuery bq = Bind(q, db, {"a", "b", "c"});
+  std::unique_ptr<Engine> engine = CreateEngine(engine_name);
+  ExecOptions opts;
+  opts.collect_tuples = true;
+  ExecResult r = engine->Execute(bq, opts);
+  std::sort(r.tuples.begin(), r.tuples.end());
+  return {r.count, std::move(r.tuples), r.stats};
+}
+
+TEST(PersistCatalogTest, WarmStartAnswersWithZeroBuilds) {
+  const std::string dir = TestDir("catalog");
+  Relation edge = TriangleEdges();
+
+  Database cold;
+  cold.Put("edge", edge.Permuted({0, 1}));  // cheap copy via identity perm
+  std::vector<EngineRun> want;
+  for (const char* e : {"lftj", "ms", "hybrid"}) {
+    want.push_back(RunTriangle(cold, e));
+  }
+  EXPECT_GT(want[0].count, 0u);
+  std::string error;
+  const size_t saved = cold.SaveCatalog(dir, &error);
+  ASSERT_GT(saved, 0u) << error;
+
+  // A second process: same data loaded fresh, catalog reopened from
+  // disk. Every index the engines ask for must come back as a cache
+  // hit on a mapped index — zero builds, identical tuples.
+  Database warm;
+  warm.Put("edge", edge.Permuted({0, 1}));
+  const size_t installed = warm.LoadCatalog(dir, &error);
+  ASSERT_EQ(installed, saved) << error;
+  for (size_t i = 0; i < 3; ++i) {
+    const char* names[] = {"lftj", "ms", "hybrid"};
+    SCOPED_TRACE(names[i]);
+    const EngineRun got = RunTriangle(warm, names[i]);
+    EXPECT_EQ(got.count, want[i].count);
+    EXPECT_EQ(got.tuples, want[i].tuples);
+    EXPECT_EQ(got.stats.index_builds, 0u);
+    EXPECT_GT(got.stats.index_cache_hits, 0u);
+  }
+}
+
+TEST(PersistCatalogTest, StaleFingerprintFallsBackToBuild) {
+  const std::string dir = TestDir("stale");
+  Relation edge = TriangleEdges();
+  Database cold;
+  cold.Put("edge", edge.Permuted({0, 1}));
+  RunTriangle(cold, "lftj");
+  std::string error;
+  ASSERT_GT(cold.SaveCatalog(dir, &error), 0u) << error;
+
+  // Different contents under the same name: every manifest entry is
+  // stale, nothing installs, queries rebuild and still answer.
+  Database changed;
+  Relation other = TriangleEdges();
+  other.Add({1000, 1001});
+  other.Add({1001, 1000});
+  other.Build();
+  changed.Put("edge", std::move(other));
+  EXPECT_EQ(changed.LoadCatalog(dir, &error), 0u);
+  const EngineRun run = RunTriangle(changed, "lftj");
+  EXPECT_GT(run.stats.index_builds, 0u);
+}
+
+TEST(PersistCatalogTest, CorruptCatalogFileFallsBackToBuild) {
+  const std::string dir = TestDir("fallback");
+  Relation edge = TriangleEdges();
+  Database cold;
+  cold.Put("edge", edge.Permuted({0, 1}));
+  const EngineRun want = RunTriangle(cold, "ms");
+  std::string error;
+  ASSERT_GT(cold.SaveCatalog(dir, &error), 0u) << error;
+
+  // Truncate every index file behind the manifest's back.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wct") {
+      std::filesystem::resize_file(entry.path(), 48);
+    }
+  }
+  Database warm;
+  warm.Put("edge", edge.Permuted({0, 1}));
+  EXPECT_EQ(warm.LoadCatalog(dir, &error), 0u);
+  const EngineRun got = RunTriangle(warm, "ms");
+  EXPECT_EQ(got.tuples, want.tuples);
+  EXPECT_GT(got.stats.index_builds, 0u);  // clean rebuild, no crash
+}
+
+TEST(PersistCatalogTest, MissingManifestIsCleanError) {
+  const std::string dir = TestDir("nomanifest");
+  Database db;
+  db.Put("edge", TriangleEdges());
+  std::string error;
+  EXPECT_EQ(db.LoadCatalog(dir, &error), 0u);
+  EXPECT_NE(error.find("manifest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcoj

@@ -26,8 +26,9 @@
 // only the seek throughput moves.
 //
 // --load-catalog DIR mmaps a previously saved index catalog before the
-// first run (stale/corrupt entries silently rebuild in memory), and
-// --save-catalog DIR writes the resident indexes after the last run.
+// first run (stale/corrupt entries are counted, logged with a per-file
+// reason, and rebuild in memory), and --save-catalog DIR writes the
+// resident indexes after the last run.
 // A second process started with --load-catalog answers with
 // index_builds=0 — the persistent warm start:
 //
@@ -35,6 +36,13 @@
 //         --save-catalog /tmp/cat
 //   $ ./query_runner "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)" ms \
 //         --load-catalog /tmp/cat
+//
+// Resource governance: --mem-budget-mb N installs a per-query
+// MemoryBudget (CDS arenas, index builds, intermediates all charge it;
+// an over-budget query fails closed with BUDGET_EXCEEDED, exit 3) and
+// --deadline-ms N shortens the default 60s deadline. The WCOJ_FAILPOINTS
+// environment variable ("persist.write=2,arena.slab=5") arms named
+// failpoints for fault-injection drills; see util/failpoint.h.
 
 #include <algorithm>
 #include <cstdio>
@@ -51,6 +59,8 @@
 #include "parallel/worker_pool.h"
 #include "query/parser.h"
 #include "storage/search_kernels.h"
+#include "util/failpoint.h"
+#include "util/mem_budget.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
@@ -59,6 +69,8 @@ int main(int argc, char** argv) {
   // Split --repeat N / --threads N out of the positional arguments.
   long repeat = 1;
   long threads = 1;
+  long mem_budget_mb = 0;   // 0 = unlimited
+  long deadline_ms = 60000;
   std::string save_catalog_dir;
   std::string load_catalog_dir;
   std::vector<const char*> args;
@@ -83,6 +95,22 @@ int main(int argc, char** argv) {
       threads = std::strtol(argv[++i], nullptr, 10);
       if (threads < 1) {
         std::fprintf(stderr, "--threads wants a positive count\n");
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--mem-budget-mb") == 0 && i + 1 < argc) {
+      mem_budget_mb = std::strtol(argv[++i], nullptr, 10);
+      if (mem_budget_mb < 0) {
+        std::fprintf(stderr, "--mem-budget-mb wants a nonnegative count\n");
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtol(argv[++i], nullptr, 10);
+      if (deadline_ms < 1) {
+        std::fprintf(stderr, "--deadline-ms wants a positive count\n");
         return 2;
       }
       continue;
@@ -112,6 +140,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s \"<query>\" [engine] [--repeat N] [--threads N] "
                  "[--kernel scalar|sse4|avx2|neon|auto] "
+                 "[--mem-budget-mb N] [--deadline-ms N] "
                  "[--save-catalog DIR] [--load-catalog DIR]\n",
                  argv[0]);
     return 2;
@@ -172,21 +201,37 @@ int main(int argc, char** argv) {
   BoundQuery bq = Bind(parsed.query, rel_map, parsed.query.Variables());
   bq.catalog = rels.catalog();  // execute over shared resident indexes
 
+  // Fault-injection drills: arm named failpoints from the environment
+  // ("name=k[,name=k]" — fire on the k-th pass through each point).
+  // Armed before any catalog IO so persist.* faults cover --load-catalog
+  // and --save-catalog as well as query execution.
+  const int armed = FailPoints::ArmFromEnv();
+  if (armed > 0) std::printf("failpoints armed: %d\n", armed);
+
   if (!load_catalog_dir.empty()) {
-    std::string err;
-    const size_t n = rels.LoadCatalog(load_catalog_dir, &err);
-    if (!err.empty()) {
-      std::fprintf(stderr, "load-catalog: %s\n", err.c_str());
+    CatalogOpenStats open_stats;
+    const size_t n = rels.LoadCatalog(load_catalog_dir, &open_stats);
+    if (!open_stats.status.ok()) {
+      std::fprintf(stderr, "load-catalog: %s\n",
+                   open_stats.status.ToString().c_str());
       return 2;
     }
-    std::printf("loaded catalog: %zu mmap-backed indexes from %s\n", n,
-                load_catalog_dir.c_str());
+    std::printf(
+        "loaded catalog: %zu mmap-backed indexes from %s "
+        "(catalog_open_skipped=%zu)\n",
+        n, load_catalog_dir.c_str(), open_stats.skipped);
+    for (const std::string& line : open_stats.skip_log) {
+      std::fprintf(stderr, "load-catalog skip: %s\n", line.c_str());
+    }
   }
 
+
   ExecScratch scratch;  // warm CDS arena shared across the repeats
+  MemoryBudget budget(static_cast<uint64_t>(mem_budget_mb) * 1024 * 1024);
   ExecOptions opts;
-  opts.deadline = Deadline::AfterSeconds(60.0);
+  opts.deadline = Deadline::AfterSeconds(deadline_ms / 1000.0);
   opts.scratch = &scratch;
+  if (mem_budget_mb > 0) opts.budget = &budget;
   // Morsel mode: persistent work-stealing pool + per-worker scratch
   // slots, both warm across the repeats (opts.scratch is ignored by
   // PartitionedExecute — concurrent jobs cannot share one scratch).
@@ -203,10 +248,17 @@ int main(int argc, char** argv) {
     } else {
       r = RunTimed(*engine, bq, opts);
     }
-    if (r.timed_out) {
-      std::printf("%s: no answer (timeout or unsupported pattern)\n",
-                  engine->name().c_str());
-      return 1;
+    if (r.timed_out || !r.ok()) {
+      std::printf("%s: no answer (%s)\n", engine->name().c_str(),
+                  r.status.ok() ? "timeout" : r.status.ToString().c_str());
+      // Structured exit codes: budget refusals are distinguishable from
+      // deadlines/cancellation so wrappers can retry with more memory.
+      return r.status.code() == StatusCode::kBudgetExceeded ? 3 : 1;
+    }
+    if (opts.budget != nullptr) {
+      std::printf("budget: peak=%.1f MiB of %ld MiB\n",
+                  r.stats.peak_budget_bytes / (1024.0 * 1024.0),
+                  mem_budget_mb);
     }
     std::printf(
         "%s: count=%llu in %.4fs (seeks=%llu, constraints=%llu, "
@@ -227,10 +279,11 @@ int main(int argc, char** argv) {
                 warm_best, repeat - 1);
   }
   if (!save_catalog_dir.empty()) {
-    std::string err;
-    const size_t n = rels.SaveCatalog(save_catalog_dir, &err);
-    if (!err.empty()) {
-      std::fprintf(stderr, "save-catalog: %s\n", err.c_str());
+    Status save_status;
+    const size_t n = rels.SaveCatalog(save_catalog_dir, &save_status);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "save-catalog: %s\n",
+                   save_status.ToString().c_str());
       return 2;
     }
     std::printf("saved catalog: %zu index files to %s\n", n,

@@ -33,7 +33,8 @@ class BinaryJoinRun {
         opts_(opts),
         strategy_(strategy),
         result_(result),
-        catalog_(EffectiveCatalog(q, opts)) {}
+        catalog_(EffectiveCatalog(q, opts)),
+        inter_charge_(opts.budget) {}
 
   void Run() {
     const JoinPlan plan = PlanJoin(q_, strategy_);
@@ -49,6 +50,16 @@ class BinaryJoinRun {
         inter = HashJoinStep(inter, a, &bound);
       }
       result_->stats.intermediate_tuples += inter.size();
+      // Charge the materialized intermediate against the query budget
+      // (release-then-charge: the previous step's intermediate is dead).
+      // A refusal latches the budget's exceeded() flag, which
+      // FinalizeExecStatus maps to kBudgetExceeded.
+      const uint64_t row_bytes =
+          inter.empty() ? 0 : 8u * inter[0].size() + 24u;
+      if (!inter_charge_.TryRebase(inter.size() * row_bytes)) {
+        result_->timed_out = true;
+        return;
+      }
       if (result_->timed_out) return;
       ApplyFilters(&inter, bound);
     }
@@ -65,7 +76,7 @@ class BinaryJoinRun {
   bool Expired() {
     if (opts_.stop != nullptr && opts_.stop->stop_requested()) {
       result_->timed_out = true;  // cancelled: result is incomplete
-    } else if (++steps_ % 4096 == 0 && opts_.deadline.Expired()) {
+    } else if (++steps_ % 4096 == 0 && opts_.Aborted()) {
       result_->timed_out = true;
     }
     return result_->timed_out;
@@ -163,9 +174,18 @@ class BinaryJoinRun {
     const auto& atom = q_.atoms[a];
     std::vector<int> perm = key_cols;
     perm.insert(perm.end(), new_cols.begin(), new_cols.end());
+    Status build_status;
     const TrieIndex* index = catalog_->GetOrBuildCounted(
         *atom.relation, std::move(perm), &result_->stats.index_builds,
-        &result_->stats.index_cache_hits);
+        &result_->stats.index_cache_hits, opts_.budget, &build_status);
+    if (index == nullptr) {
+      result_->status.Update(build_status.ok()
+                                 ? Status(StatusCode::kInternal,
+                                          "index build failed")
+                                 : build_status);
+      result_->timed_out = true;
+      return {};
+    }
     // Trie column holding var0, if the atom binds it (partition filter).
     // Like Var0Ok, the filter reads the FIRST relation column binding
     // var0, so both paths agree even when an atom repeats the variable.
@@ -272,6 +292,7 @@ class BinaryJoinRun {
   PlanStrategy strategy_;
   ExecResult* result_;
   IndexCatalog* catalog_;  // null = legacy per-step hash builds
+  ScopedCharge inter_charge_;  // live materialized-intermediate bytes
   uint64_t steps_ = 0;
 };
 
@@ -286,6 +307,7 @@ ExecResult BinaryJoinEngine::Execute(const BoundQuery& q,
                         : PlanStrategy::kGreedySmallest,
                     &result);
   run.Run();
+  FinalizeExecStatus(&result, opts);
   if (result.timed_out) {
     result.count = 0;
     result.tuples.clear();

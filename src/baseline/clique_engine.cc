@@ -153,8 +153,12 @@ ExecResult CliqueEngine::Execute(const BoundQuery& q,
   const Shape shape = DetectShape(q);
   if (!shape.ok) {
     // Unsupported pattern: a specialized engine simply has no program for
-    // it. Report a timeout-style non-answer.
+    // it. Report a structured non-answer (kept timeout-shaped for legacy
+    // callers that only look at timed_out).
     result.timed_out = true;
+    result.status = Status(StatusCode::kUnimplemented,
+                           "clique engine supports only full 3-/4-clique "
+                           "patterns over binary atoms");
     return result;
   }
   ForwardGraph g(q);
@@ -193,8 +197,9 @@ ExecResult CliqueEngine::Execute(const BoundQuery& q,
   uint64_t steps = 0;
   for (const auto& [u, v] : g.edges()) {
     if ((opts.stop != nullptr && opts.stop->stop_requested()) ||
-        (++steps % 1024 == 0 && opts.deadline.Expired())) {
+        (++steps % 1024 == 0 && opts.Aborted())) {
       result.timed_out = true;
+      FinalizeExecStatus(&result, opts);
       return result;
     }
     const Value lo = g.HasFwdEdge(u, v) ? u : v;
@@ -212,6 +217,7 @@ ExecResult CliqueEngine::Execute(const BoundQuery& q,
       }
     }
   }
+  FinalizeExecStatus(&result, opts);
   return result;
 }
 

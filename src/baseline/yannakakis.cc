@@ -4,6 +4,8 @@
 #include <set>
 #include <vector>
 
+#include "util/mem_budget.h"
+
 #include "baseline/binary_join.h"
 
 namespace wcoj {
@@ -53,10 +55,22 @@ bool Semijoin(const BoundQuery& q, Relation* r, const std::vector<int>& r_vars,
 ExecResult YannakakisEngine::Execute(const BoundQuery& q,
                                      const ExecOptions& opts) const {
   ExecResult result;
-  // Working copies of the relations for in-place reduction.
+  // Working copies of the relations for in-place reduction — the
+  // engine's dominant materialization, charged against the query budget
+  // before each copy is made.
+  ScopedCharge copy_charge(opts.budget);
   std::vector<Relation> reduced;
   reduced.reserve(q.atoms.size());
-  for (const auto& atom : q.atoms) reduced.push_back(*atom.relation);
+  for (const auto& atom : q.atoms) {
+    const uint64_t bytes =
+        8u * atom.relation->size() * atom.relation->arity() + 4096u;
+    if (!copy_charge.TryCharge(bytes)) {
+      result.timed_out = true;
+      FinalizeExecStatus(&result, opts);
+      return result;
+    }
+    reduced.push_back(*atom.relation);
+  }
 
   // Semijoin program to fixpoint (bounded rounds; acyclic queries converge
   // in at most |atoms| rounds).
@@ -68,8 +82,9 @@ ExecResult YannakakisEngine::Execute(const BoundQuery& q,
         if (i == j) continue;
         changed |= Semijoin(q, &reduced[i], q.atoms[i].vars, reduced[j],
                             q.atoms[j].vars);
-        if (opts.Cancelled()) {
+        if (opts.Aborted()) {
           result.timed_out = true;
+          FinalizeExecStatus(&result, opts);
           return result;
         }
       }
@@ -89,6 +104,7 @@ ExecResult YannakakisEngine::Execute(const BoundQuery& q,
   BinaryJoinEngine join(BinaryJoinFlavor::kRowStore);
   ExecResult joined = join.Execute(rq, join_opts);
   joined.stats.intermediate_tuples += result.stats.intermediate_tuples;
+  FinalizeExecStatus(&joined, opts);
   return joined;
 }
 

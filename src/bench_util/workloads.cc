@@ -105,15 +105,15 @@ std::map<std::string, const Relation*> DatasetRelations::Map() const {
 }
 
 size_t DatasetRelations::SaveCatalog(const std::string& dir,
-                                     std::string* error) const {
-  return catalog_.SaveTo(dir, error);
+                                     Status* status) const {
+  return catalog_.SaveTo(dir, status);
 }
 
 size_t DatasetRelations::LoadCatalog(const std::string& dir,
-                                     std::string* error) {
+                                     CatalogOpenStats* stats) {
   std::vector<const Relation*> live = {&edge_, &edge_lt_, &node_};
   for (const Relation& s : samples_) live.push_back(&s);
-  return catalog_.OpenFrom(dir, live, error);
+  return catalog_.OpenFrom(dir, live, stats);
 }
 
 BoundQuery BindWorkload(const Workload& w, const DatasetRelations& rels) {

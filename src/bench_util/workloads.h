@@ -54,9 +54,12 @@ class DatasetRelations {
   // manifest against the dataset's current relations — including the
   // current v1..v4 samples, so a Resample since the save leaves those
   // entries stale and they rebuild in memory — and installs mmap-backed
-  // indexes. Both return the number of index files processed.
-  size_t SaveCatalog(const std::string& dir, std::string* error = nullptr) const;
-  size_t LoadCatalog(const std::string& dir, std::string* error = nullptr);
+  // indexes. Both return the number of index files processed; *status /
+  // *stats (when non-null) carry the structured outcome, including
+  // per-file skip reasons on open.
+  size_t SaveCatalog(const std::string& dir, Status* status = nullptr) const;
+  size_t LoadCatalog(const std::string& dir,
+                     CatalogOpenStats* stats = nullptr);
 
  private:
   Relation edge_, edge_lt_, node_;

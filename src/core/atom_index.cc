@@ -4,7 +4,8 @@ namespace wcoj {
 
 AtomIndexSet::AtomIndexSet(const BoundQuery& q, IndexCatalog* catalog,
                            EngineStats* stats,
-                           const std::vector<const TrieIndex*>* prebuilt) {
+                           const std::vector<const TrieIndex*>* prebuilt,
+                           MemoryBudget* budget) {
   ptrs_.reserve(q.atoms.size());
   for (size_t a = 0; a < q.atoms.size(); ++a) {
     if (prebuilt != nullptr && (*prebuilt)[a] != nullptr) {
@@ -14,13 +15,28 @@ AtomIndexSet::AtomIndexSet(const BoundQuery& q, IndexCatalog* catalog,
     const BoundAtom& atom = q.atoms[a];
     std::vector<int> perm = GaoConsistentPerm(atom.vars);
     if (catalog != nullptr) {
-      ptrs_.push_back(catalog->GetOrBuildCounted(*atom.relation,
-                                                 std::move(perm),
-                                                 &stats->index_builds,
-                                                 &stats->index_cache_hits));
+      Status build_status;
+      const TrieIndex* index = catalog->GetOrBuildCounted(
+          *atom.relation, std::move(perm), &stats->index_builds,
+          &stats->index_cache_hits, budget, &build_status);
+      if (index == nullptr) {
+        if (build_status.ok()) {
+          build_status = Status(StatusCode::kInternal, "index build failed");
+        }
+        status_.Update(build_status);
+        ptrs_.push_back(nullptr);
+        continue;
+      }
+      ptrs_.push_back(index);
     } else {
-      owned_.push_back(
-          std::make_unique<TrieIndex>(*atom.relation, std::move(perm)));
+      auto owned = std::make_unique<TrieIndex>(
+          *atom.relation, std::move(perm), DefaultTierPolicy(), budget);
+      if (!owned->build_ok()) {
+        status_.Update(owned->build_status());
+        ptrs_.push_back(nullptr);
+        continue;
+      }
+      owned_.push_back(std::move(owned));
       ptrs_.push_back(owned_.back().get());
       ++stats->index_builds;
     }

@@ -23,15 +23,25 @@ class AtomIndexSet {
   // counts into *stats. `prebuilt` (when non-null) supplies per-atom
   // overrides; its null entries fall through to the catalog-or-build
   // path. Indexes resolved without a catalog are owned by this object.
+  // `budget` governs any builds this resolution performs; a refused
+  // build leaves a null slot and a non-OK status() — engines must check
+  // ok() before probing.
   AtomIndexSet(const BoundQuery& q, IndexCatalog* catalog, EngineStats* stats,
-               const std::vector<const TrieIndex*>* prebuilt = nullptr);
+               const std::vector<const TrieIndex*>* prebuilt = nullptr,
+               MemoryBudget* budget = nullptr);
 
   const TrieIndex* at(size_t atom) const { return ptrs_[atom]; }
   size_t size() const { return ptrs_.size(); }
 
+  // OK iff every atom resolved an index; otherwise the first build
+  // failure (budget refusal / injected fault).
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
  private:
   std::vector<const TrieIndex*> ptrs_;
   std::vector<std::unique_ptr<TrieIndex>> owned_;
+  Status status_;
 };
 
 // Pre-builds the GAO-consistent index of every atom of `q` in its

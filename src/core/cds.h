@@ -130,6 +130,9 @@ class Cds {
   uint64_t counted_outputs() const { return counted_outputs_; }
 
   const CdsArena& arena() const { return *arena_; }
+  // Mutable access for per-run governance (budget install / latch
+  // clear); the arena's node state is not touched through this.
+  CdsArena* mutable_arena() { return arena_; }
 
  private:
   struct ChainNode {

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/constraint.h"
+#include "util/failpoint.h"
 
 namespace wcoj {
 
@@ -237,6 +238,27 @@ int CdsArena::SizeClass(uint32_t capacity) {
   return std::clamp(cls, 0, kNumClasses - 1);
 }
 
+void CdsArena::SetBudget(MemoryBudget* budget) {
+  if (budget == budget_) return;
+  if (budget_ != nullptr && charged_ > 0) budget_->Release(charged_);
+  budget_ = budget;
+  charged_ = 0;
+  if (budget_ != nullptr && total_bytes_ > 0) {
+    budget_->ForceCharge(total_bytes_);
+    charged_ = total_bytes_;
+  }
+}
+
+void CdsArena::NoteGrowth(uint64_t bytes) {
+  total_bytes_ += bytes;
+  if (budget_ != nullptr) {
+    budget_->ForceCharge(bytes);
+    charged_ += bytes;
+  }
+  static FailPoint& fp = FailPoints::Register("arena.slab");
+  if (WCOJ_FAILPOINT(fp)) alloc_failed_ = true;
+}
+
 CdsIndex CdsArena::AllocNode(CdsIndex parent, Value label, uint64_t id) {
   CdsIndex idx;
   if (free_nodes_ != kCdsNull) {
@@ -249,7 +271,7 @@ CdsIndex CdsArena::AllocNode(CdsIndex parent, Value label, uint64_t id) {
     const size_t slab = idx >> kNodeSlabLog2;
     if (slab == node_slabs_.size()) {
       node_slabs_.push_back(std::make_unique<CdsNode[]>(kNodesPerSlab));
-      total_bytes_ += uint64_t{kNodesPerSlab} * sizeof(CdsNode);
+      NoteGrowth(uint64_t{kNodesPerSlab} * sizeof(CdsNode));
     }
     if (idx < node_high_water_) {
       ++nodes_recycled_;  // warm slab memory from an earlier epoch
@@ -289,14 +311,14 @@ CdsEntry* CdsArena::AllocEntries(uint32_t capacity) {
   }
   if (capacity > kEntriesPerSlab) {
     large_bufs_.push_back({cls, std::make_unique<CdsEntry[]>(capacity)});
-    total_bytes_ += uint64_t{capacity} * sizeof(CdsEntry);
+    NoteGrowth(uint64_t{capacity} * sizeof(CdsEntry));
     return large_bufs_.back().buf.get();
   }
   if (cur_entry_slab_ == nullptr ||
       entry_slab_used_ + capacity > kEntriesPerSlab) {
     if (entry_slab_next_ == entry_slabs_.size()) {
       entry_slabs_.push_back(std::make_unique<CdsEntry[]>(kEntriesPerSlab));
-      total_bytes_ += uint64_t{kEntriesPerSlab} * sizeof(CdsEntry);
+      NoteGrowth(uint64_t{kEntriesPerSlab} * sizeof(CdsEntry));
     }
     cur_entry_slab_ = entry_slabs_[entry_slab_next_].get();
     ++entry_slab_next_;

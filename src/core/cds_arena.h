@@ -41,6 +41,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/mem_budget.h"
 #include "util/value.h"
 
 namespace wcoj {
@@ -170,10 +171,29 @@ class CdsNode {
 class CdsArena {
  public:
   CdsArena() = default;
+  ~CdsArena() { SetBudget(nullptr); }
   // Free-list heads point into the slabs; moving/copying would leave a
   // second owner with dangling heads. Arenas live in ExecScratch slots.
   CdsArena(const CdsArena&) = delete;
   CdsArena& operator=(const CdsArena&) = delete;
+
+  // Installs (or clears) the query's memory governor. Charges the
+  // arena's existing footprint to the new budget and releases it from
+  // the old one, so a warm scratch arena counts fully against whichever
+  // query is currently running on it. Growth while installed is
+  // ForceCharged: the slab the arena already committed to always lands,
+  // the governor latches, and the engine winds down at its next poll.
+  // Engines install opts.budget before running and clear it (nullptr)
+  // before returning — the budget's lifetime is the query's.
+  void SetBudget(MemoryBudget* budget);
+  MemoryBudget* budget() const { return budget_; }
+
+  // Sticky simulated-allocation-failure latch, set by the "arena.slab"
+  // failpoint at slab/large-buffer growth (the allocation itself still
+  // completes — a torn CDS is worse than a late failure). Engines poll
+  // it like the budget latch and fail with kResourceExhausted.
+  bool alloc_failed() const { return alloc_failed_; }
+  void ClearAllocFailed() { alloc_failed_ = false; }
 
   CdsNode* node(CdsIndex i) {
     assert(i != kCdsNull && i < node_cursor_);
@@ -221,6 +241,11 @@ class CdsArena {
 
   static int SizeClass(uint32_t capacity);
 
+  // Accounting hook for every site that grows the arena's heap
+  // footprint: bumps total_bytes_, charges the installed budget, and
+  // evaluates the "arena.slab" failpoint.
+  void NoteGrowth(uint64_t bytes);
+
   struct FreeBuf {
     FreeBuf* next;
   };
@@ -245,6 +270,10 @@ class CdsArena {
   uint64_t nodes_recycled_ = 0;   // epoch-local
   uint64_t total_bytes_ = 0;
   uint64_t epoch_ = 0;
+
+  MemoryBudget* budget_ = nullptr;
+  uint64_t charged_ = 0;  // bytes charged to budget_ so far
+  bool alloc_failed_ = false;
 };
 
 }  // namespace wcoj

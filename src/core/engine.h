@@ -20,6 +20,8 @@
 #include "core/cds.h"
 #include "core/cds_arena.h"
 #include "query/query.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/value.h"
 
@@ -41,6 +43,10 @@ struct EngineStats {
   uint64_t cds_nodes_allocated = 0;
   uint64_t cds_nodes_recycled = 0;
   uint64_t cds_peak_arena_bytes = 0;
+  // High-water mark of the query's MemoryBudget (0 when no budget was
+  // installed). Merged with max: morsels share one budget, so every
+  // part observes the same governor.
+  uint64_t peak_budget_bytes = 0;
 
   // Field-wise merge; partitioned runs and multi-phase engines merge
   // per-part stats with this. Counters sum, footprints take the max.
@@ -55,6 +61,7 @@ struct EngineStats {
     cds_nodes_allocated += o.cds_nodes_allocated;
     cds_nodes_recycled += o.cds_nodes_recycled;
     cds_peak_arena_bytes = std::max(cds_peak_arena_bytes, o.cds_peak_arena_bytes);
+    peak_budget_bytes = std::max(peak_budget_bytes, o.peak_budget_bytes);
   }
 };
 
@@ -148,12 +155,24 @@ struct ExecOptions {
   // Lets PartitionedExecute stamp cds_run_token at all. Off restores
   // the reconfigure-per-morsel behavior (bench ablation knob).
   bool morsel_cds_reuse = true;
+  // Per-query memory governor, shared by every morsel of a partitioned
+  // run. Charged by CDS arenas, trie builds, materialized intermediates
+  // and persist mappings; engines poll Aborted() and wind down with
+  // kBudgetExceeded when the budget latches. Null means ungoverned.
+  MemoryBudget* budget = nullptr;
 
   // True when this execution should wind down: requested stop or expired
   // deadline. Engines poll the stop token every iteration (relaxed atomic
   // load) but rate-limit the deadline's clock read themselves.
   bool Cancelled() const {
     return (stop != nullptr && stop->stop_requested()) || deadline.Expired();
+  }
+
+  // Cancelled() plus the budget governor: the full "stop working now"
+  // predicate engines poll at frontier boundaries. All three legs are
+  // relaxed atomic loads or rate-limited clock reads.
+  bool Aborted() const {
+    return (budget != nullptr && budget->exceeded()) || Cancelled();
   }
 };
 
@@ -169,7 +188,44 @@ struct ExecResult {
   std::vector<Tuple> tuples;  // populated iff collect_tuples
   EngineStats stats;
   double seconds = 0.0;  // filled by RunTimed
+  // Structured outcome. OK means count/tuples are the exact answer;
+  // any other code means the run failed closed (cancel, deadline,
+  // budget, bad input, internal fault) and partial output must not be
+  // trusted. timed_out stays true for the cancel/deadline/budget codes
+  // so pre-Status callers keep working.
+  Status status;
+
+  bool ok() const { return status.ok(); }
 };
+
+// Maps an engine's wind-down state to its structured outcome, applied
+// once at every Execute exit: a latched budget fails the run with
+// kBudgetExceeded even if the engine raced past the poll and finished
+// (deterministic fail-closed), then timed_out resolves to kCancelled
+// (stop token fired) or kDeadlineExceeded. Also snapshots the budget
+// high-water mark into stats. Engines that fail for their own reasons
+// (bad input, stalls, alloc failure) set result->status before calling
+// this; a pre-set error always wins.
+inline void FinalizeExecStatus(ExecResult* result, const ExecOptions& opts) {
+  if (opts.budget != nullptr) {
+    result->stats.peak_budget_bytes =
+        std::max(result->stats.peak_budget_bytes, opts.budget->peak());
+    if (result->status.ok() && opts.budget->exceeded()) {
+      result->timed_out = true;
+      result->status =
+          Status(StatusCode::kBudgetExceeded, "query memory budget exceeded");
+    }
+  }
+  if (result->status.ok() && result->timed_out) {
+    if (opts.stop != nullptr && opts.stop->stop_requested()) {
+      result->status = Status(StatusCode::kCancelled, "execution cancelled");
+    } else {
+      result->status =
+          Status(StatusCode::kDeadlineExceeded, "deadline expired");
+    }
+  }
+  if (!result->status.ok()) result->timed_out = true;
+}
 
 // How an engine's catalog usage is made resident ahead of timed runs:
 //   kGaoIndexes   consumes the per-atom GAO-consistent indexes, so

@@ -105,6 +105,11 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
   ExecResult result;
   result.stats = prefix_result.stats;
   result.timed_out = prefix_result.timed_out;
+  result.status = prefix_result.status;
+  if (!result.status.ok()) {
+    FinalizeExecStatus(&result, opts);
+    return result;
+  }
 
   LftjEngine lftj;
   // Resolve one trie index per suffix atom (ordered by GAO positions):
@@ -114,7 +119,13 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
   // the suffix queries themselves carry no catalog and the singleton
   // slot stays a per-call private build.
   AtomIndexSet suffix_indexes(suffix, EffectiveCatalog(q, opts),
-                              &result.stats);
+                              &result.stats, /*prebuilt=*/nullptr,
+                              opts.budget);
+  if (!suffix_indexes.ok()) {
+    result.status = suffix_indexes.status();
+    FinalizeExecStatus(&result, opts);
+    return result;
+  }
   std::vector<const TrieIndex*> index_ptrs;
   for (size_t a = 0; a < suffix.atoms.size(); ++a) {
     index_ptrs.push_back(suffix_indexes.at(a));
@@ -139,6 +150,7 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
     // warm too. The runs are sequential, so the single-user contract
     // holds.
     suffix_opts.scratch = opts.scratch;
+    suffix_opts.budget = opts.budget;
     if (!opts.collect_tuples) {
       auto it = memo.find(j);
       if (it != memo.end()) {
@@ -156,8 +168,9 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
     bind.vars = {0};
     sq.atoms.push_back(std::move(bind));
     ExecResult sub = lftj.ExecuteWithIndexes(sq, suffix_opts, index_ptrs);
-    if (sub.timed_out) {
+    if (sub.timed_out || !sub.ok()) {
       result.timed_out = true;
+      result.status.Update(sub.status);
       break;
     }
     result.stats.Add(sub.stats);
@@ -172,6 +185,7 @@ ExecResult HybridEngine::Execute(const BoundQuery& q,
       memo.emplace(j, sub.count);
     }
   }
+  FinalizeExecStatus(&result, opts);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/atom_index.h"
@@ -24,7 +25,29 @@ class LftjRun {
         // One trie index per atom, columns ordered by GAO position
         // (GAO-consistency assumption); prebuilt and catalog-resident
         // indexes are reused instead of rebuilt.
-        indexes_(q, EffectiveCatalog(q, opts), &result->stats, prebuilt) {
+        indexes_(q, EffectiveCatalog(q, opts), &result->stats, prebuilt,
+                 opts.budget) {
+    // Structured preconditions, checked before any iterator or join is
+    // constructed: a failed (budget-refused / fault-injected) index
+    // build, or a query whose GAO leaves a variable uncovered, fails
+    // the run closed instead of tripping downstream asserts.
+    if (!indexes_.ok()) {
+      result_->status = indexes_.status();
+      return;
+    }
+    per_depth_.resize(q.num_vars);
+    for (size_t a = 0; a < q.atoms.size(); ++a) {
+      for (int v : q.atoms[a].vars) per_depth_[v].push_back(a);
+    }
+    for (int v = 0; v < q.num_vars; ++v) {
+      if (per_depth_[v].empty()) {
+        result_->status =
+            Status(StatusCode::kInvalidArgument,
+                   "variable " + std::to_string(v) +
+                       " is not covered by any atom (invalid GAO)");
+        return;
+      }
+    }
     for (size_t a = 0; a < q.atoms.size(); ++a) {
       iters_.push_back(std::make_unique<TrieIterator>(indexes_.at(a)));
     }
@@ -32,13 +55,13 @@ class LftjRun {
     // reusable LeapfrogJoin over them. The joins are constructed once
     // here and re-Init()ed on every entry into their depth, so the hot
     // recursion never copies an iterator vector per trie node.
-    per_depth_.resize(q.num_vars);
-    for (size_t a = 0; a < q.atoms.size(); ++a) {
-      for (int v : q.atoms[a].vars) per_depth_[v].push_back(iters_[a].get());
+    depth_iters_.resize(q.num_vars);
+    for (int v = 0; v < q.num_vars; ++v) {
+      for (size_t a : per_depth_[v]) depth_iters_[v].push_back(iters_[a].get());
     }
     joins_.reserve(q.num_vars);
     for (int v = 0; v < q.num_vars; ++v) {
-      joins_.emplace_back(per_depth_[v]);  // asserts the var is covered
+      joins_.emplace_back(depth_iters_[v]);
     }
     // Earlier filter endpoints per depth: binding depth d must exceed
     // t[lo] for every filter (lo, d) with lo < d.
@@ -54,10 +77,8 @@ class LftjRun {
   }
 
   void Run() {
+    if (!result_->status.ok()) return;  // refused in the constructor
     if (q_.num_vars == 0) return;
-    for (int v = 0; v < q_.num_vars; ++v) {
-      assert(!per_depth_[v].empty() && "variable not covered by any atom");
-    }
     Search(0);
     // Collect seek stats.
     for (const auto& it : iters_) result_->stats.seeks += it->seeks();
@@ -67,7 +88,7 @@ class LftjRun {
   bool Expired() {
     if (opts_.stop != nullptr && opts_.stop->stop_requested()) {
       result_->timed_out = true;  // cancelled: result is incomplete
-    } else if (++steps_ % 4096 == 0 && opts_.deadline.Expired()) {
+    } else if (++steps_ % 4096 == 0 && opts_.Aborted()) {
       result_->timed_out = true;
     }
     return result_->timed_out;
@@ -89,7 +110,7 @@ class LftjRun {
       Emit();
       return;
     }
-    auto& iters = per_depth_[depth];
+    auto& iters = depth_iters_[depth];
     for (auto* it : iters) it->Open();
     LeapfrogJoin& join = joins_[depth];
     join.Init();
@@ -118,7 +139,8 @@ class LftjRun {
   ExecResult* result_;
   AtomIndexSet indexes_;
   std::vector<std::unique_ptr<TrieIterator>> iters_;
-  std::vector<std::vector<TrieIterator*>> per_depth_;
+  std::vector<std::vector<size_t>> per_depth_;  // atom ids per GAO depth
+  std::vector<std::vector<TrieIterator*>> depth_iters_;
   std::vector<LeapfrogJoin> joins_;  // one reusable join per GAO depth
   std::vector<std::vector<int>> lower_bounds_;
   std::vector<std::pair<int, int>> upper_checks_;
@@ -133,6 +155,7 @@ ExecResult LftjEngine::Execute(const BoundQuery& q,
   ExecResult result;
   LftjRun run(q, opts, /*prebuilt=*/nullptr, &result);
   run.Run();
+  FinalizeExecStatus(&result, opts);
   return result;
 }
 
@@ -142,6 +165,7 @@ ExecResult LftjEngine::ExecuteWithIndexes(
   ExecResult result;
   LftjRun run(q, opts, &indexes, &result);
   run.Run();
+  FinalizeExecStatus(&result, opts);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/atom_index.h"
@@ -36,11 +37,24 @@ class MsRun {
         q_(q),
         opts_(opts),
         result_(result),
-        indexes_(q, EffectiveCatalog(q, opts), &result->stats) {
+        indexes_(q, EffectiveCatalog(q, opts), &result->stats,
+                 /*prebuilt=*/nullptr, opts.budget) {
+    // A failed (budget-refused / fault-injected) index build fails the
+    // run closed before any index is probed.
+    if (!indexes_.ok()) {
+      result_->status = indexes_.status();
+      return;
+    }
     for (size_t a = 0; a < q.atoms.size(); ++a) {
       atom_vars_.push_back(q.AtomVarsSorted(a));
       // Nonnegative-domain contract (frontier floor is -1).
-      assert(indexes_.at(a)->size() == 0 || indexes_.at(a)->ColMin(0) >= 0);
+      if (indexes_.at(a)->size() != 0 && indexes_.at(a)->ColMin(0) < 0) {
+        result_->status = Status(
+            StatusCode::kInvalidArgument,
+            "minesweeper requires nonnegative value domains (atom " +
+                std::to_string(a) + " has negative keys)");
+        return;
+      }
     }
     skeleton_.assign(q.atoms.size(), true);
     if (ms.idea7_skeleton) skeleton_ = BetaAcyclicSkeleton(q);
@@ -62,6 +76,7 @@ class MsRun {
   }
 
   void Run() {
+    if (!result_->status.ok()) return;  // refused in the constructor
     Cds::Options cds_options;
     cds_options.idea6_complete_nodes = ms_.idea6_complete_nodes;
     cds_options.count_mode = ms_.count_mode && !opts_.collect_tuples;
@@ -72,15 +87,27 @@ class MsRun {
     // otherwise build a private one that dies with this run.
     std::optional<Cds> local_cds;
     Cds* cds_ptr;
+    CdsArena* budget_arena;
+    // CDS growth is the engine's dominant allocator: charge it against
+    // the query budget for the duration of this run. The latch (set by a
+    // budget refusal or the "arena.slab" failpoint) is polled in the main
+    // loop; the run winds down instead of crashing mid-insert. Budget
+    // install and stale-latch clear happen BEFORE the CDS is acquired,
+    // so growth during this run's own setup is governed too.
     if (opts_.scratch != nullptr) {
+      budget_arena = &opts_.scratch->cds_arena;
+      budget_arena->ClearAllocFailed();  // stale latch from a prior query
+      budget_arena->SetBudget(opts_.budget);
       cds_ptr = &opts_.scratch->AcquireCds(q_.num_vars, cds_options,
                                            opts_.cds_run_token);
     } else {
       local_cds.emplace(q_.num_vars, cds_options);
       cds_ptr = &*local_cds;
+      budget_arena = local_cds->mutable_arena();
+      budget_arena->SetBudget(opts_.budget);
     }
     Cds& cds = *cds_ptr;
-    const CdsArena* arena = &cds.arena();
+    const CdsArena* arena = budget_arena;
     // Stats baselines: under morsel CDS retention (cds_run_token) the
     // shell carries counters from earlier morsels of this run, so report
     // this execution's contribution as deltas. After a Reconfigure the
@@ -102,7 +129,8 @@ class MsRun {
 
     while (cds.ComputeFreeTuple()) {
       if ((opts_.stop != nullptr && opts_.stop->stop_requested()) ||
-          (++iters % 256 == 0 && opts_.deadline.Expired())) {
+          arena->alloc_failed() ||
+          (++iters % 256 == 0 && opts_.Aborted())) {
         result_->timed_out = true;
         break;
       }
@@ -113,8 +141,12 @@ class MsRun {
 
       // Stall safety net: a free tuple equal to the previous one that was
       // not an output means no progress was made — a bug, not a slow run.
+      // Fail closed with a structured error instead of aborting the
+      // process; the result is marked incomplete.
       if (!prev_output && t == prev_free) {
-        assert(false && "Minesweeper stalled");
+        result_->status =
+            Status(StatusCode::kInternal,
+                   "minesweeper stalled: frontier made no progress");
         result_->timed_out = true;
         break;
       }
@@ -219,6 +251,16 @@ class MsRun {
       }
     }
     if (cds.timed_out()) result_->timed_out = true;
+    if (arena->alloc_failed()) {
+      result_->timed_out = true;
+      result_->status.Update(
+          Status(StatusCode::kResourceExhausted,
+                 "CDS arena allocation refused (budget or injected fault)"));
+    }
+    // Detach the budget and clear the latch so a pooled scratch arena is
+    // reusable by the next (possibly differently-governed) run.
+    budget_arena->ClearAllocFailed();
+    budget_arena->SetBudget(nullptr);
     result_->stats.constraints_inserted +=
         cds.constraints_inserted() - base_constraints;
     result_->stats.cds_nodes_allocated +=
@@ -339,6 +381,7 @@ ExecResult MinesweeperEngine::Execute(const BoundQuery& q,
   }
   MsRun run(options_, q, opts, &result);
   run.Run();
+  FinalizeExecStatus(&result, opts);
   return result;
 }
 

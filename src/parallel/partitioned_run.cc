@@ -11,6 +11,7 @@
 #include "core/atom_index.h"
 #include "parallel/job_pool.h"
 #include "storage/trie.h"
+#include "util/failpoint.h"
 
 namespace wcoj {
 
@@ -74,9 +75,22 @@ std::vector<std::pair<Value, Value>> MorselRanges(
   return ranges;
 }
 
+// Morsel-status aggregation: first error wins, except that a root cause
+// (deadline, budget, I/O, injected fault) always displaces a secondary
+// kCancelled — sibling morsels cancelled by the failing one must not
+// mask why the run failed.
+void MergeMorselStatus(Status* agg, const Status& s) {
+  if (s.ok()) return;
+  if (agg->ok() || (agg->code() == StatusCode::kCancelled &&
+                    s.code() != StatusCode::kCancelled)) {
+    *agg = s;
+  }
+}
+
 }  // namespace
 
-EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads) {
+EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads,
+                                     MemoryBudget* budget, Status* status) {
   EngineStats stats;
   if (q.catalog == nullptr) return stats;
   // Distinct (relation, permutation) keys; the map owns each key once,
@@ -93,16 +107,24 @@ EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads) {
   // One build job per distinct key; the catalog serializes same-key
   // racers internally, so distinct keys are the real parallelism.
   std::vector<char> built(keys.size(), 0);
+  std::vector<Status> build_status(keys.size());
   std::vector<std::function<void()>> jobs;
   jobs.reserve(keys.size());
   for (size_t k = 0; k < keys.size(); ++k) {
     jobs.push_back([&, k]() {
       bool b = false;
-      q.catalog->GetOrBuild(*keys[k]->relation, keys[k]->perm, &b);
+      const TrieIndex* index = q.catalog->GetOrBuild(
+          *keys[k]->relation, keys[k]->perm, &b, budget, &build_status[k]);
+      if (index == nullptr && build_status[k].ok()) {
+        build_status[k] = Status(StatusCode::kInternal, "index build failed");
+      }
       built[k] = b ? 1 : 0;
     });
   }
   JobPool(num_threads).Run(jobs);
+  if (status != nullptr) {
+    for (const Status& st : build_status) status->Update(st);
+  }
   // Per-atom accounting, matching the serial WarmQueryIndexes: the
   // first atom of each key records its build (or resident hit), every
   // repeat atom a hit.
@@ -161,7 +183,17 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
     // concurrently across the job pool instead of serially.
     BoundQuery warm_q = q;
     warm_q.catalog = catalog;
-    total.stats.Add(WarmQueryIndexesParallel(warm_q, threads));
+    Status warm_status;
+    total.stats.Add(
+        WarmQueryIndexesParallel(warm_q, threads, opts.budget, &warm_status));
+    if (!warm_status.ok()) {
+      // A refused/faulted shared build would fail every morsel the same
+      // way; fail the run closed before spawning any.
+      total.status = warm_status;
+      total.timed_out = true;
+      FinalizeExecStatus(&total, opts);
+      return total;
+    }
   }
 
   // Domain of the first GAO variable (union over atoms containing it)
@@ -185,7 +217,7 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       // orchestration lookups.
       const TrieIndex* index =
           catalog->GetOrBuild(*atom.relation, GaoConsistentPerm(atom.vars));
-      if (index->size() == 0) continue;
+      if (index == nullptr || index->size() == 0) continue;
       lo = std::min(lo, index->ColMin(0));
       hi = std::max(hi, index->ColMax(0));
       if (pilot == nullptr || index->LevelSize(0) > pilot->LevelSize(0)) {
@@ -211,11 +243,15 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
     }
   }
   if (lo > hi) {  // variable 0 has an empty domain: empty result
+    FinalizeExecStatus(&total, opts);
     return total;
   }
   lo = std::max(lo, opts.var0_min);
   hi = std::min(hi, opts.var0_max);
-  if (lo > hi) return total;
+  if (lo > hi) {
+    FinalizeExecStatus(&total, opts);
+    return total;
+  }
 
   // Rank-based morsel boundaries: quantiles over resident keys (warm
   // path, subtree-breadth weighted) or over the scanned occurrences
@@ -255,14 +291,29 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
   std::mutex mu;
   std::vector<std::function<void(int)>> jobs;
   jobs.reserve(ranges.size());
+  static FailPoint& worker_job_fp = FailPoints::Register("worker.job");
   for (const auto& [a, b] : ranges) {
     jobs.push_back([&, a = a, b = b](int worker) {
-      if (stop->stop_requested() || opts.deadline.Expired()) {
+      if (stop->stop_requested() || opts.Aborted()) {
         // Cancelled before this morsel ran: its share of the output is
         // missing, so the merged result must read timed_out.
         stop->RequestStop();
         std::lock_guard<std::mutex> lock(mu);
         total.timed_out = true;
+        return;
+      }
+      // Fault-injection boundary: a morsel that dies at dispatch must
+      // cancel its siblings and surface one aggregate error, never
+      // crash or silently drop its output share.
+      if (WCOJ_FAILPOINT(worker_job_fp)) {
+        stop->RequestStop();
+        std::lock_guard<std::mutex> lock(mu);
+        total.timed_out = true;
+        MergeMorselStatus(
+            &total.status,
+            Status(StatusCode::kInternal,
+                   "injected fault at worker job boundary "
+                   "(failpoint worker.job)"));
         return;
       }
       ExecOptions job_opts = opts;
@@ -272,10 +323,13 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       job_opts.scratch = scratch_pool->ForWorker(worker);
       job_opts.cds_run_token = run_token;
       ExecResult r = engine.Execute(q, job_opts);
-      if (r.timed_out) stop->RequestStop();
+      // A failed morsel cancels the whole run: queued siblings skip,
+      // running siblings wind down at their next poll.
+      if (r.timed_out || !r.ok()) stop->RequestStop();
       std::lock_guard<std::mutex> lock(mu);
       total.count += r.count;
       total.timed_out |= r.timed_out;
+      MergeMorselStatus(&total.status, r.status);
       total.stats.Add(r.stats);
       if (opts.collect_tuples) {
         total.tuples.insert(total.tuples.end(), r.tuples.begin(),
@@ -296,6 +350,7 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
   if (opts.collect_tuples) {
     std::sort(total.tuples.begin(), total.tuples.end());
   }
+  FinalizeExecStatus(&total, opts);
   return total;
 }
 

@@ -57,8 +57,12 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
 // job per *distinct* (relation, permutation) pair, so a cold partitioned
 // run constructs independent indexes concurrently instead of serially.
 // Per-atom build/hit accounting is identical to the serial warm pass.
-// No-op without a catalog.
-EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads);
+// No-op without a catalog. Builds are governed by `budget` when given;
+// the first build failure (budget refusal / injected fault) is folded
+// into *status.
+EngineStats WarmQueryIndexesParallel(const BoundQuery& q, int num_threads,
+                                     MemoryBudget* budget = nullptr,
+                                     Status* status = nullptr);
 
 }  // namespace wcoj
 

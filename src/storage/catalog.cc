@@ -6,17 +6,20 @@
 namespace wcoj {
 
 const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
-                                          std::vector<int> perm, bool* built) {
+                                          std::vector<int> perm, bool* built,
+                                          MemoryBudget* budget,
+                                          Status* status) {
   // Normalize the identity spelling so `{}` and `{0..arity-1}` share a
   // cache slot (and a persisted file).
   if (perm.empty()) {
     perm.resize(rel.arity());
     for (int i = 0; i < rel.arity(); ++i) perm[i] = i;
   }
+  const Key key{&rel, perm};
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::shared_ptr<Entry>& slot = entries_[Key{&rel, perm}];
+    std::shared_ptr<Entry>& slot = entries_[key];
     if (slot == nullptr) slot = std::make_shared<Entry>();
     entry = slot;
   }
@@ -25,11 +28,30 @@ const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
   // index is ready.
   bool did_build = false;
   std::call_once(entry->once, [&] {
-    entry->index = std::make_unique<TrieIndex>(rel, std::move(perm));
-    entry->ready.store(true, std::memory_order_release);
-    did_build = true;
-    builds_.fetch_add(1, std::memory_order_relaxed);
+    auto index =
+        std::make_unique<TrieIndex>(rel, std::move(perm), DefaultTierPolicy(),
+                                    budget);
+    if (index->build_ok()) {
+      entry->index = std::move(index);
+      entry->ready.store(true, std::memory_order_release);
+      did_build = true;
+      builds_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      entry->build_status = index->build_status();
+    }
   });
+  if (entry->index == nullptr) {
+    // Failed build (this call's or the racer's we waited on). Release
+    // the slot — a retry with a bigger budget must get a fresh entry,
+    // not this consumed once_flag — unless another thread already
+    // replaced it.
+    if (status != nullptr) *status = entry->build_status;
+    if (built != nullptr) *built = false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    return nullptr;
+  }
   if (!did_build) hits_.fetch_add(1, std::memory_order_relaxed);
   if (built != nullptr) *built = did_build;
   return entry->index.get();

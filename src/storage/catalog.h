@@ -32,8 +32,22 @@
 
 #include "storage/relation.h"
 #include "storage/trie.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
 
 namespace wcoj {
+
+// Outcome of a persistent-catalog open sweep (IndexCatalog::OpenFrom).
+// Skipped entries are the designed degradation path — a stale
+// fingerprint or corrupt file just rebuilds in memory on first use —
+// but they are counted and explained here so operators can tell a warm
+// start that loaded everything from one that silently fell back.
+struct CatalogOpenStats {
+  size_t installed = 0;
+  size_t skipped = 0;  // stale / corrupt / truncated / policy-mismatched
+  std::vector<std::string> skip_log;  // one "file: reason" per skip
+  Status status;  // manifest-level failure (unreadable dir/manifest)
+};
 
 class IndexCatalog {
  public:
@@ -46,17 +60,30 @@ class IndexCatalog {
   // (relation, permutation) pair. When `built` is non-null it is set to
   // true iff this call performed the build (callers feed this into
   // EngineStats::index_builds / index_cache_hits).
+  //
+  // `budget` governs the build's transient footprint; a refused charge
+  // (or an armed "trie.build" failpoint) makes the build fail closed:
+  // the call returns nullptr, `*status` carries the cause, and the
+  // cache slot is released so a later call — e.g. the same query rerun
+  // with a bigger budget — retries the build instead of being poisoned
+  // by the failure. Same-key racers waiting on the failed build also
+  // receive nullptr + the status.
   const TrieIndex* GetOrBuild(const Relation& rel, std::vector<int> perm,
-                              bool* built = nullptr);
+                              bool* built = nullptr,
+                              MemoryBudget* budget = nullptr,
+                              Status* status = nullptr);
 
   // As GetOrBuild, bumping *builds or *hits — the EngineStats counter
-  // update every engine performs.
+  // update every engine performs. Failed builds bump neither.
   const TrieIndex* GetOrBuildCounted(const Relation& rel,
                                      std::vector<int> perm, uint64_t* builds,
-                                     uint64_t* hits) {
+                                     uint64_t* hits,
+                                     MemoryBudget* budget = nullptr,
+                                     Status* status = nullptr) {
     bool built = false;
-    const TrieIndex* index = GetOrBuild(rel, std::move(perm), &built);
-    ++(built ? *builds : *hits);
+    const TrieIndex* index =
+        GetOrBuild(rel, std::move(perm), &built, budget, status);
+    if (index != nullptr) ++(built ? *builds : *hits);
     return index;
   }
 
@@ -65,18 +92,23 @@ class IndexCatalog {
   // Writes every resident (fully built) index to `dir` as one versioned
   // binary file each, plus a MANIFEST keyed on relation fingerprint +
   // permutation + tier policy. Returns the number of files written;
-  // in-flight builds are skipped. Safe with concurrent GetOrBuild.
-  size_t SaveTo(const std::string& dir, std::string* error = nullptr);
+  // in-flight builds are skipped. Safe with concurrent GetOrBuild, and
+  // serialized against concurrent SaveTo callers (same or other
+  // process) by an advisory flock on `dir/.catalog.lock`, so two
+  // writers cannot interleave their tmp+rename sequences. On failure
+  // *status names the first file or manifest step that failed.
+  size_t SaveTo(const std::string& dir, Status* status = nullptr);
 
   // Reads `dir`'s MANIFEST and, for every entry whose fingerprint and
   // arity match one of `live`'s relations and whose tier policy matches
   // the current DefaultTierPolicy, mmaps the file and installs the
   // zero-copy index. Stale fingerprints and truncated/corrupt files are
   // skipped cleanly — those indexes simply build in memory on first
-  // use. Returns the number installed.
+  // use — with each skip counted and explained in *stats. Returns the
+  // number installed.
   size_t OpenFrom(const std::string& dir,
                   const std::vector<const Relation*>& live,
-                  std::string* error = nullptr);
+                  CatalogOpenStats* stats = nullptr);
 
   // Seeds the (rel, perm) cache slot with an already-materialized index
   // (the mmap warm-start path). Later GetOrBuild calls on the key count
@@ -110,6 +142,10 @@ class IndexCatalog {
     std::once_flag once;
     std::unique_ptr<TrieIndex> index;
     std::atomic<bool> ready{false};
+    // Why the build failed (index stays null). Written by the build
+    // winner before the once completes; read by waiters after — the
+    // call_once is the synchronization edge.
+    Status build_status;
   };
 
   mutable std::mutex mu_;
@@ -146,8 +182,9 @@ class Database {
   // manifest against this database's current relations and installs the
   // mmap-backed indexes, so the first query pays page faults instead of
   // builds. Both return the number of index files processed.
-  size_t SaveCatalog(const std::string& dir, std::string* error = nullptr) const;
-  size_t LoadCatalog(const std::string& dir, std::string* error = nullptr);
+  size_t SaveCatalog(const std::string& dir, Status* status = nullptr) const;
+  size_t LoadCatalog(const std::string& dir,
+                     CatalogOpenStats* stats = nullptr);
 
  private:
   std::map<std::string, Relation> relations_;  // node stability = residency

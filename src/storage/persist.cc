@@ -1,6 +1,7 @@
 #include "storage/persist.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -16,6 +17,7 @@
 
 #include "storage/catalog.h"
 #include "storage/level_keys.h"
+#include "util/failpoint.h"
 
 namespace wcoj {
 
@@ -93,33 +95,82 @@ size_t TierElemBytes(KeyTier tier) {
   return 0;
 }
 
-bool Fail(std::string* error, const std::string& what) {
-  if (error != nullptr) *error = what;
-  return false;
+// Failpoints covering every syscall class the persistence layer
+// performs; chaos_test sweeps each one through its k-th hit.
+FailPoint& WriteFp() { return FailPoints::Register("persist.write"); }
+FailPoint& RenameFp() { return FailPoints::Register("persist.rename"); }
+FailPoint& MmapFp() { return FailPoints::Register("persist.mmap"); }
+FailPoint& ReadFp() { return FailPoints::Register("persist.read"); }
+FailPoint& ManifestWriteFp() {
+  return FailPoints::Register("persist.manifest.write");
 }
+FailPoint& ManifestCommitFp() {
+  return FailPoints::Register("persist.manifest.commit");
+}
+
+void SetStatus(Status* status, StatusCode code, const std::string& what) {
+  if (status != nullptr) *status = Status(code, what);
+}
+
+// Advisory cross-process lock on a catalog directory: SaveTo holds it
+// exclusively across its whole tmp+rename sequence (files + manifest),
+// OpenFrom holds it shared, so a reader never observes a manifest from
+// one writer pointing at files a second writer is mid-replacing. Lock
+// acquisition failure (e.g. the directory does not exist yet for a
+// reader) degrades to unlocked operation — the tmp+rename discipline
+// still guarantees per-file atomicity.
+class DirLock {
+ public:
+  DirLock(const std::string& dir, bool exclusive) {
+    fd_ = ::open((dir + "/.catalog.lock").c_str(),
+                 O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, exclusive ? LOCK_EX : LOCK_SH) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~DirLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
 
 // Read-only mapping of a whole file; the mapping (not the path) is what
 // mapped TrieIndexes keep alive.
 class MappedFile {
  public:
   static std::shared_ptr<MappedFile> Map(const std::string& path,
-                                         std::string* error) {
+                                         Status* status) {
+    if (WCOJ_FAILPOINT(MmapFp())) {
+      SetStatus(status, StatusCode::kIoError,
+                "mmap failed for " + path + " (failpoint persist.mmap)");
+      return nullptr;
+    }
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) {
-      Fail(error, "cannot open " + path);
+      SetStatus(status, StatusCode::kNotFound, "cannot open " + path);
       return nullptr;
     }
     struct stat st;
     if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
       ::close(fd);
-      Fail(error, "cannot stat (or empty) " + path);
+      SetStatus(status, StatusCode::kIoError,
+                "cannot stat (or empty) " + path);
       return nullptr;
     }
     const size_t size = static_cast<size_t>(st.st_size);
     void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);  // the mapping holds its own reference
     if (data == MAP_FAILED) {
-      Fail(error, "mmap failed for " + path);
+      SetStatus(status, StatusCode::kIoError, "mmap failed for " + path);
       return nullptr;
     }
     return std::shared_ptr<MappedFile>(new MappedFile(data, size));
@@ -213,8 +264,8 @@ uint64_t RelationFingerprint(const Relation& rel) {
 
 const char* CatalogManifestName() { return "MANIFEST"; }
 
-bool SaveIndex(const TrieIndex& index, uint64_t fingerprint,
-               const std::string& path, std::string* error) {
+Status SaveIndex(const TrieIndex& index, uint64_t fingerprint,
+                 const std::string& path) {
   const int arity = index.arity();
   assert(arity >= 1 && arity <= static_cast<int>(kMaxArity));
 
@@ -287,19 +338,35 @@ bool SaveIndex(const TrieIndex& index, uint64_t fingerprint,
   std::memcpy(buf.data(), &h, sizeof(h));
 
   // Write-then-rename so a crash mid-save never leaves a half file
-  // behind the manifest's back.
+  // behind the manifest's back. An injected fault behaves like the real
+  // one: the tmp file is removed, `path` is untouched.
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out ||
+    const bool injected = WCOJ_FAILPOINT(WriteFp());
+    if (injected || !out ||
         !out.write(reinterpret_cast<const char*>(buf.data()), buf.size())) {
-      return Fail(error, "write failed: " + tmp);
+      out.close();
+      std::error_code ignore;
+      std::filesystem::remove(tmp, ignore);
+      return Status(StatusCode::kIoError,
+                    injected ? "write failed: " + tmp +
+                                   " (failpoint persist.write)"
+                             : "write failed: " + tmp);
     }
   }
   std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) return Fail(error, "rename failed: " + path);
-  return true;
+  const bool rename_injected = WCOJ_FAILPOINT(RenameFp());
+  if (!rename_injected) std::filesystem::rename(tmp, path, ec);
+  if (rename_injected || ec) {
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+    return Status(StatusCode::kIoError,
+                  rename_injected ? "rename failed: " + path +
+                                        " (failpoint persist.rename)"
+                                  : "rename failed: " + path);
+  }
+  return OkStatus();
 }
 
 namespace {
@@ -307,14 +374,29 @@ namespace {
 std::unique_ptr<TrieIndex> OpenImpl(const std::string& path,
                                     uint64_t expected_fingerprint,
                                     bool check_fingerprint,
-                                    bool verify_payload, std::string* error) {
-  std::shared_ptr<MappedFile> file = MappedFile::Map(path, error);
+                                    bool verify_payload, Status* status,
+                                    MemoryBudget* budget) {
+  std::shared_ptr<MappedFile> file = MappedFile::Map(path, status);
   if (file == nullptr) return nullptr;
   const uint8_t* base = file->data();
   auto reject = [&](const std::string& what) -> std::unique_ptr<TrieIndex> {
-    Fail(error, path + ": " + what);
+    SetStatus(status, StatusCode::kDataLoss, path + ": " + what);
     return nullptr;
   };
+
+  // The mapped pages are this open's transient footprint; a budget that
+  // cannot cover the file refuses the open before any validation work.
+  ScopedCharge map_charge(budget);
+  if (!map_charge.TryCharge(file->size())) {
+    SetStatus(status, StatusCode::kBudgetExceeded,
+              path + ": mapping over memory budget");
+    return nullptr;
+  }
+  if (WCOJ_FAILPOINT(ReadFp())) {
+    SetStatus(status, StatusCode::kIoError,
+              path + ": read failed (failpoint persist.read)");
+    return nullptr;
+  }
 
   if (file->size() < sizeof(FileHeader)) return reject("truncated header");
   FileHeader h;
@@ -423,15 +505,20 @@ std::unique_ptr<TrieIndex> OpenImpl(const std::string& path,
 
 std::unique_ptr<TrieIndex> OpenIndex(const std::string& path,
                                      uint64_t expected_fingerprint,
-                                     std::string* error,
+                                     Status* status,
                                      const PersistOptions& opts) {
   return OpenImpl(path, expected_fingerprint, /*check_fingerprint=*/true,
-                  opts.verify_payload, error);
+                  opts.verify_payload, status, opts.budget);
 }
 
-bool VerifyIndexFile(const std::string& path, std::string* error) {
-  return OpenImpl(path, 0, /*check_fingerprint=*/false,
-                  /*verify_payload=*/true, error) != nullptr;
+Status VerifyIndexFile(const std::string& path) {
+  Status status;
+  if (OpenImpl(path, 0, /*check_fingerprint=*/false,
+               /*verify_payload=*/true, &status, nullptr) == nullptr) {
+    return status.ok() ? Status(StatusCode::kDataLoss, path + ": rejected")
+                       : status;
+  }
+  return OkStatus();
 }
 
 // --- IndexCatalog / Database persistence (declared in catalog.h) ---
@@ -457,18 +544,22 @@ std::string IndexFileName(uint64_t fingerprint, const std::vector<int>& perm,
 
 }  // namespace
 
-size_t IndexCatalog::SaveTo(const std::string& dir, std::string* error) {
+size_t IndexCatalog::SaveTo(const std::string& dir, Status* status) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
-    Fail(error, "cannot create " + dir);
+    SetStatus(status, StatusCode::kIoError, "cannot create " + dir);
     return 0;
   }
+  // Exclusive advisory lock for the whole files+manifest sequence: a
+  // concurrent SaveTo (this process or another) waits here instead of
+  // interleaving its tmp+rename steps with ours.
+  DirLock lock(dir, /*exclusive=*/true);
   // Snapshot under the map lock; completed entries are immutable after
   // their once_flag fires, so the writes below run lock-free.
   std::vector<std::pair<Key, std::shared_ptr<Entry>>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock_map(mu_);
     snapshot.assign(entries_.begin(), entries_.end());
   }
   std::ostringstream manifest;
@@ -487,7 +578,14 @@ size_t IndexCatalog::SaveTo(const std::string& dir, std::string* error) {
     for (const std::string& w : written) dup |= w == name;
     if (dup) continue;
     const std::string path = dir + "/" + name;
-    if (!SaveIndex(*index, fp, path, error)) return saved;
+    const Status save = SaveIndex(*index, fp, path);
+    if (!save.ok()) {
+      // Stop the sweep: the manifest is NOT committed, so the directory
+      // keeps whatever complete manifest it had before this call — a
+      // failed save never publishes a partial catalog.
+      if (status != nullptr) *status = save;
+      return saved;
+    }
     written.push_back(name);
     std::ostringstream fp_hex;
     fp_hex << std::hex << fp;
@@ -502,13 +600,27 @@ size_t IndexCatalog::SaveTo(const std::string& dir, std::string* error) {
   const std::string tmp = manifest_path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out || !(out << manifest.str())) {
-      Fail(error, "write failed: " + tmp);
+    const bool injected = WCOJ_FAILPOINT(ManifestWriteFp());
+    if (injected || !out || !(out << manifest.str())) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      SetStatus(status, StatusCode::kIoError,
+                injected ? "write failed: " + tmp +
+                               " (failpoint persist.manifest.write)"
+                         : "write failed: " + tmp);
       return saved;
     }
   }
-  std::filesystem::rename(tmp, manifest_path, ec);
-  if (ec) Fail(error, "rename failed: " + manifest_path);
+  const bool commit_injected = WCOJ_FAILPOINT(ManifestCommitFp());
+  ec.clear();
+  if (!commit_injected) std::filesystem::rename(tmp, manifest_path, ec);
+  if (commit_injected || ec) {
+    std::filesystem::remove(tmp, ec);
+    SetStatus(status, StatusCode::kIoError,
+              commit_injected ? "rename failed: " + manifest_path +
+                                    " (failpoint persist.manifest.commit)"
+                              : "rename failed: " + manifest_path);
+  }
   return saved;
 }
 
@@ -533,15 +645,27 @@ void IndexCatalog::Install(const Relation& rel, std::vector<int> perm,
 
 size_t IndexCatalog::OpenFrom(const std::string& dir,
                               const std::vector<const Relation*>& live,
-                              std::string* error) {
+                              CatalogOpenStats* stats) {
+  CatalogOpenStats local;
+  if (stats == nullptr) stats = &local;
+  auto skip = [stats](const std::string& what, const std::string& why) {
+    ++stats->skipped;
+    stats->skip_log.push_back(what + ": " + why);
+  };
+  // Shared advisory lock: don't read a manifest a concurrent SaveTo is
+  // mid-replacing (the rename itself is atomic; the lock keeps the
+  // files the manifest names from racing the sweep).
+  DirLock lock(dir, /*exclusive=*/false);
   std::ifstream in(dir + "/" + std::string(CatalogManifestName()));
   if (!in) {
-    Fail(error, "no catalog manifest in " + dir);
+    stats->status =
+        Status(StatusCode::kNotFound, "no catalog manifest in " + dir);
     return 0;
   }
   std::string line;
   if (!std::getline(in, line) || line != kManifestMagic) {
-    Fail(error, "bad manifest magic in " + dir);
+    stats->status =
+        Status(StatusCode::kDataLoss, "bad manifest magic in " + dir);
     return 0;
   }
   // Fingerprint each live relation once; an index file is loadable only
@@ -552,7 +676,6 @@ size_t IndexCatalog::OpenFrom(const std::string& dir,
     live_fp[i] = RelationFingerprint(*live[i]);
   }
   const TierPolicy current_policy = DefaultTierPolicy();
-  size_t installed = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream fields(line);
@@ -560,19 +683,27 @@ size_t IndexCatalog::OpenFrom(const std::string& dir,
     uint64_t arity = 0, rows = 0;
     if (!(fields >> name >> fp_hex >> policy_name >> arity >> rows >>
           perm_csv)) {
-      continue;  // malformed entry: skip, callers rebuild on demand
+      skip(line, "malformed manifest entry");
+      continue;  // callers rebuild on demand
     }
     uint64_t fp = 0;
     try {
       fp = std::stoull(fp_hex, nullptr, 16);
     } catch (...) {
+      skip(name, "unparseable fingerprint");
       continue;
     }
     TierPolicy policy;
-    if (!ParseTierPolicyName(policy_name.c_str(), &policy)) continue;
+    if (!ParseTierPolicyName(policy_name.c_str(), &policy)) {
+      skip(name, "unknown tier policy '" + policy_name + "'");
+      continue;
+    }
     // Tier policy is part of the index identity: files encoded under a
     // different policy than this process would build with are stale.
-    if (policy != current_policy) continue;
+    if (policy != current_policy) {
+      skip(name, "tier policy mismatch (file " + policy_name + ")");
+      continue;
+    }
     std::vector<int> perm;
     std::istringstream perm_in(perm_csv);
     std::string col;
@@ -584,38 +715,46 @@ size_t IndexCatalog::OpenFrom(const std::string& dir,
         break;
       }
     }
-    if (perm.size() != arity) continue;
+    if (perm.size() != arity) {
+      skip(name, "malformed permutation '" + perm_csv + "'");
+      continue;
+    }
+    bool matched_live = false;
     for (size_t i = 0; i < live.size(); ++i) {
       if (live_fp[i] != fp ||
           static_cast<uint64_t>(live[i]->arity()) != arity) {
         continue;
       }
-      std::string open_error;
+      matched_live = true;
+      Status open_status;
       std::unique_ptr<TrieIndex> index =
-          OpenIndex(dir + "/" + name, fp, &open_error);
+          OpenIndex(dir + "/" + name, fp, &open_status);
       if (index == nullptr) {
         // Corrupt/truncated/missing file: reject this entry cleanly;
         // the in-memory build path covers it.
-        Fail(error, open_error);
+        skip(name, open_status.ToString());
         continue;
       }
       Install(*live[i], perm, std::move(index));
-      ++installed;
+      ++stats->installed;
+    }
+    if (!matched_live) {
+      skip(name, "stale fingerprint (no live relation matches)");
     }
   }
-  return installed;
+  return stats->installed;
 }
 
-size_t Database::SaveCatalog(const std::string& dir,
-                             std::string* error) const {
-  return catalog_.SaveTo(dir, error);
+size_t Database::SaveCatalog(const std::string& dir, Status* status) const {
+  return catalog_.SaveTo(dir, status);
 }
 
-size_t Database::LoadCatalog(const std::string& dir, std::string* error) {
+size_t Database::LoadCatalog(const std::string& dir,
+                             CatalogOpenStats* stats) {
   std::vector<const Relation*> live;
   live.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) live.push_back(&rel);
-  return catalog_.OpenFrom(dir, live, error);
+  return catalog_.OpenFrom(dir, live, stats);
 }
 
 }  // namespace wcoj

@@ -53,6 +53,8 @@
 
 #include "storage/relation.h"
 #include "storage/trie.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
 
 namespace wcoj {
 
@@ -67,26 +69,33 @@ struct PersistOptions {
   // it trades the lazy warm start for cold-storage integrity; tests and
   // one-shot tools want it, the serving path does not.
   bool verify_payload = false;
+  // When set, the open strictly charges the file's mapped size for the
+  // duration of the open (the transient governance window); a refusal
+  // rejects the open with kBudgetExceeded and the caller falls back to
+  // the (equally governed) in-memory build path.
+  MemoryBudget* budget = nullptr;
 };
 
 // Writes `index` to `path` (replacing any existing file). `fingerprint`
 // is the source relation's RelationFingerprint, stored in the header
-// and re-checked at open. False with *error set on I/O failure.
-bool SaveIndex(const TrieIndex& index, uint64_t fingerprint,
-               const std::string& path, std::string* error = nullptr);
+// and re-checked at open. Write-then-rename: a failure (real or via the
+// "persist.write"/"persist.rename" failpoints) never leaves a partial
+// file at `path`. Non-OK with the failing step on I/O failure.
+Status SaveIndex(const TrieIndex& index, uint64_t fingerprint,
+                 const std::string& path);
 
 // Maps `path` and returns a TrieIndex serving directly out of the
-// mapping, or null with *error describing the rejection (missing file,
+// mapping, or null with *status describing the rejection (missing file,
 // truncation, bad magic/version/checksum, fingerprint mismatch,
 // malformed section table). The returned index owns the mapping.
 std::unique_ptr<TrieIndex> OpenIndex(const std::string& path,
                                      uint64_t expected_fingerprint,
-                                     std::string* error = nullptr,
+                                     Status* status = nullptr,
                                      const PersistOptions& opts = {});
 
 // Full-file validation: everything OpenIndex checks plus the payload
 // checksum. For tests and offline catalog audits.
-bool VerifyIndexFile(const std::string& path, std::string* error = nullptr);
+Status VerifyIndexFile(const std::string& path);
 
 // Name of the manifest file inside a catalog directory.
 const char* CatalogManifestName();

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <limits>
 
+#include "util/failpoint.h"
+
 namespace wcoj {
 
 namespace {
@@ -22,7 +24,7 @@ TierPolicy DefaultTierPolicy() {
 }
 
 TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm,
-                     TierPolicy tier_policy)
+                     TierPolicy tier_policy, MemoryBudget* budget)
     : perm_(std::move(perm)), tier_policy_(tier_policy) {
   assert(rel.built());
   const int arity = rel.arity();
@@ -34,6 +36,27 @@ TrieIndex::TrieIndex(const Relation& rel, std::vector<int> perm,
   levels_.resize(arity);
   const size_t n = rel.size();
   assert(n < std::numeric_limits<Offset>::max());
+
+  // Governed build: reserve the estimated peak footprint (raw key
+  // staging + child offsets, the dominant terms) strictly before any
+  // staging vector grows. The charge covers only the build — resident
+  // catalog indexes are process memory, shared across queries, and are
+  // not billed to whichever query happened to build them first.
+  static FailPoint& build_fp = FailPoints::Register("trie.build");
+  ScopedCharge build_charge(budget);
+  const uint64_t build_estimate =
+      uint64_t{n} * (8u * static_cast<unsigned>(arity) + 8u) + 4096;
+  if (WCOJ_FAILPOINT(build_fp)) {
+    build_status_ = Status(StatusCode::kResourceExhausted,
+                           "trie build: injected allocation failure "
+                           "(failpoint trie.build)");
+    return;
+  }
+  if (!build_charge.TryCharge(build_estimate)) {
+    build_status_ = Status(StatusCode::kBudgetExceeded,
+                           "trie build over memory budget");
+    return;
+  }
 
   bool identity = true;
   for (int i = 0; i < arity; ++i) identity &= perm_[i] == i;

@@ -42,6 +42,8 @@
 
 #include "storage/level_keys.h"
 #include "storage/relation.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
 #include "util/value.h"
 
 namespace wcoj {
@@ -58,9 +60,21 @@ class TrieIndex {
   // `perm[i]` = column of `rel` exposed at trie depth i. Identity if
   // empty; otherwise must be a full permutation of rel's columns.
   // `tier_policy` governs per-level key compression; the default arg
-  // reads the process-wide policy at call time.
+  // reads the process-wide policy at call time. `budget`, when set, is
+  // charged (strictly, for the build's duration) with the build's
+  // estimated peak footprint before any staging allocation happens; a
+  // refusal — or the "trie.build" failpoint — aborts the build, leaving
+  // an empty index whose build_status() is non-OK. Callers must check
+  // build_ok() before installing or probing a governed build.
   TrieIndex(const Relation& rel, std::vector<int> perm = {},
-            TierPolicy tier_policy = DefaultTierPolicy());
+            TierPolicy tier_policy = DefaultTierPolicy(),
+            MemoryBudget* budget = nullptr);
+
+  // OK unless the build was aborted (budget refusal or injected
+  // allocation failure). An aborted index is structurally a valid empty
+  // trie but answers nothing — never use it for real queries.
+  bool build_ok() const { return build_status_.ok(); }
+  const Status& build_status() const { return build_status_; }
 
   int arity() const { return static_cast<int>(levels_.size()); }
   size_t size() const { return rows_; }  // leaf count == row count
@@ -171,6 +185,7 @@ class TrieIndex {
   size_t rows_ = 0;
   std::vector<int> perm_;
   TierPolicy tier_policy_ = TierPolicy::kAuto;
+  Status build_status_;  // non-OK iff the build was aborted
   // Keeps the mapped file alive for view-backed indexes (type-erased so
   // this header does not depend on storage/persist.h).
   std::shared_ptr<const void> mmap_backing_;

@@ -17,6 +17,8 @@
 #include "query/parser.h"
 #include "storage/trie.h"
 #include "tests/test_util.h"
+#include "util/rng.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 
 namespace wcoj {
@@ -549,6 +551,67 @@ TEST(StopTokenTest, EveryEngineHonorsARequestedStop) {
     auto engine = CreateEngine(name);
     const ExecResult r = engine->Execute(bq, opts);
     EXPECT_TRUE(r.timed_out) << name;
+  }
+}
+
+// Cancellation storm: a timer thread fires the StopToken at a random
+// point during execution, across every registered engine. Whatever the
+// cut lands on, the engine must return promptly in one of the two legal
+// end states (kCancelled+timed_out, or the exact count if it won the
+// race), and the SAME warm scratch must serve an exact clean run right
+// after — no partial-run state may leak into the next query. This is
+// the TSan-leg companion to chaos_test's failpoint sweeps.
+TEST(StopTokenTest, RandomCancellationPointsAcrossEveryEngine) {
+  Graph g = Rmat(9, 3000, 0.57, 0.19, 0.19, 17);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge(a,b), edge(b,c), edge(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  const uint64_t expected =
+      CreateEngine("lftj")->Execute(bq, ExecOptions{}).count;
+  ASSERT_GT(expected, 0u);
+  Rng rng(4242);
+  ExecScratch scratch;
+  for (const std::string& name : EngineNames()) {
+    auto engine = CreateEngine(name);
+    // Clean per-engine reference through the shared scratch, for the
+    // stat-corruption check below.
+    ExecOptions clean_opts;
+    clean_opts.scratch = &scratch;
+    const ExecResult ref = engine->Execute(bq, clean_opts);
+    ASSERT_EQ(ref.count, expected) << name;
+    for (int trial = 0; trial < 4; ++trial) {
+      SCOPED_TRACE(name + " trial " + std::to_string(trial));
+      StopToken stop;
+      const int delay_us = static_cast<int>(rng.NextBounded(3000));
+      std::thread timer([&stop, delay_us] {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        stop.RequestStop();
+      });
+      ExecOptions opts;
+      opts.stop = &stop;
+      opts.scratch = &scratch;
+      Stopwatch watch;
+      const ExecResult r = engine->Execute(bq, opts);
+      timer.join();
+      // Prompt return: the full query is milliseconds; seconds would
+      // mean the stop was ignored.
+      EXPECT_LT(watch.ElapsedSeconds(), 5.0);
+      EXPECT_EQ(r.timed_out, !r.status.ok()) << r.status.ToString();
+      if (r.timed_out) {
+        EXPECT_EQ(r.status.code(), StatusCode::kCancelled)
+            << r.status.ToString();
+      } else {
+        EXPECT_EQ(r.count, expected);
+      }
+      // Scratch reusability + stat integrity: the very next clean run
+      // through the same scratch is exact and deterministic.
+      const ExecResult clean = engine->Execute(bq, clean_opts);
+      EXPECT_FALSE(clean.timed_out) << clean.status.ToString();
+      EXPECT_EQ(clean.count, expected);
+      EXPECT_EQ(clean.stats.seeks, ref.stats.seeks);
+      EXPECT_EQ(clean.stats.constraints_inserted,
+                ref.stats.constraints_inserted);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -113,11 +114,13 @@ TEST(PersistRoundTripTest, BitIdenticalAcrossPoliciesAndShapes) {
       TrieIndex built(rel, {}, policy);
       const std::string path = dir + "/" + shape.name + "_" +
                                TierPolicyName(policy) + ".wct";
-      std::string error;
-      ASSERT_TRUE(SaveIndex(built, fp, path, &error)) << error;
-      ASSERT_TRUE(VerifyIndexFile(path, &error)) << error;
-      std::unique_ptr<TrieIndex> mapped = OpenIndex(path, fp, &error);
-      ASSERT_NE(mapped, nullptr) << error;
+      const Status save_status = SaveIndex(built, fp, path);
+      ASSERT_TRUE(save_status.ok()) << save_status.ToString();
+      const Status verify_status = VerifyIndexFile(path);
+      ASSERT_TRUE(verify_status.ok()) << verify_status.ToString();
+      Status open_status;
+      std::unique_ptr<TrieIndex> mapped = OpenIndex(path, fp, &open_status);
+      ASSERT_NE(mapped, nullptr) << open_status.ToString();
 
       EXPECT_TRUE(mapped->mapped());
       EXPECT_FALSE(built.mapped());
@@ -182,10 +185,11 @@ TEST(PersistRoundTripTest, NonIdentityPermutationSurvives) {
   const uint64_t fp = RelationFingerprint(rel);
   TrieIndex built(rel, {2, 0, 1});
   const std::string path = dir + "/perm.wct";
-  std::string error;
-  ASSERT_TRUE(SaveIndex(built, fp, path, &error)) << error;
-  std::unique_ptr<TrieIndex> mapped = OpenIndex(path, fp, &error);
-  ASSERT_NE(mapped, nullptr) << error;
+  const Status save_status = SaveIndex(built, fp, path);
+  ASSERT_TRUE(save_status.ok()) << save_status.ToString();
+  Status open_status;
+  std::unique_ptr<TrieIndex> mapped = OpenIndex(path, fp, &open_status);
+  ASSERT_NE(mapped, nullptr) << open_status.ToString();
   EXPECT_EQ(mapped->perm(), (std::vector<int>{2, 0, 1}));
   EXPECT_EQ(Walk(*mapped), Walk(built));
 }
@@ -200,17 +204,18 @@ class PersistCorruptionTest : public testing::Test {
     fp_ = RelationFingerprint(rel);
     TrieIndex index(rel);
     path_ = dir_ + "/index.wct";
-    std::string error;
-    ASSERT_TRUE(SaveIndex(index, fp_, path_, &error)) << error;
+    const Status save_status = SaveIndex(index, fp_, path_);
+    ASSERT_TRUE(save_status.ok()) << save_status.ToString();
     bytes_ = ReadFile(path_);
     ASSERT_GT(bytes_.size(), 72u);
   }
 
-  // Expect a clean rejection (null + error message, no crash).
+  // Expect a clean rejection (null + non-OK status, no crash).
   void ExpectRejected(const std::string& why) {
-    std::string error;
-    EXPECT_EQ(OpenIndex(path_, fp_, &error), nullptr) << why;
-    EXPECT_FALSE(error.empty()) << why;
+    Status status;
+    EXPECT_EQ(OpenIndex(path_, fp_, &status), nullptr) << why;
+    EXPECT_FALSE(status.ok()) << why;
+    EXPECT_FALSE(status.message().empty()) << why;
   }
 
   std::string dir_, path_, bytes_;
@@ -259,9 +264,10 @@ TEST_F(PersistCorruptionTest, FutureVersionRejected) {
 }
 
 TEST_F(PersistCorruptionTest, StaleFingerprintRejected) {
-  std::string error;
-  EXPECT_EQ(OpenIndex(path_, fp_ + 1, &error), nullptr);
-  EXPECT_NE(error.find("stale"), std::string::npos);
+  Status status;
+  EXPECT_EQ(OpenIndex(path_, fp_ + 1, &status), nullptr);
+  EXPECT_NE(status.message().find("stale"), std::string::npos);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
 }
 
 TEST_F(PersistCorruptionTest, PayloadFlipCaughtByVerifyOnly) {
@@ -270,10 +276,11 @@ TEST_F(PersistCorruptionTest, PayloadFlipCaughtByVerifyOnly) {
   std::string corrupt = bytes_;
   corrupt[bytes_.size() - 1] ^= 0xff;
   WriteFile(path_, corrupt);
-  std::string error;
-  EXPECT_NE(OpenIndex(path_, fp_, &error), nullptr) << error;
-  EXPECT_FALSE(VerifyIndexFile(path_, &error));
-  EXPECT_NE(error.find("payload"), std::string::npos);
+  Status status;
+  EXPECT_NE(OpenIndex(path_, fp_, &status), nullptr) << status.ToString();
+  const Status verify_status = VerifyIndexFile(path_);
+  EXPECT_FALSE(verify_status.ok());
+  EXPECT_NE(verify_status.message().find("payload"), std::string::npos);
 }
 
 // --- Catalog-level save / open ---
@@ -320,17 +327,22 @@ TEST(PersistCatalogTest, WarmStartAnswersWithZeroBuilds) {
     want.push_back(RunTriangle(cold, e));
   }
   EXPECT_GT(want[0].count, 0u);
-  std::string error;
-  const size_t saved = cold.SaveCatalog(dir, &error);
-  ASSERT_GT(saved, 0u) << error;
+  Status save_status;
+  const size_t saved = cold.SaveCatalog(dir, &save_status);
+  ASSERT_GT(saved, 0u) << save_status.ToString();
+  ASSERT_TRUE(save_status.ok()) << save_status.ToString();
 
   // A second process: same data loaded fresh, catalog reopened from
   // disk. Every index the engines ask for must come back as a cache
   // hit on a mapped index — zero builds, identical tuples.
   Database warm;
   warm.Put("edge", edge.Permuted({0, 1}));
-  const size_t installed = warm.LoadCatalog(dir, &error);
-  ASSERT_EQ(installed, saved) << error;
+  CatalogOpenStats open_stats;
+  const size_t installed = warm.LoadCatalog(dir, &open_stats);
+  ASSERT_EQ(installed, saved) << open_stats.status.ToString();
+  EXPECT_TRUE(open_stats.status.ok());
+  EXPECT_EQ(open_stats.skipped, 0u);
+  EXPECT_TRUE(open_stats.skip_log.empty());
   for (size_t i = 0; i < 3; ++i) {
     const char* names[] = {"lftj", "ms", "hybrid"};
     SCOPED_TRACE(names[i]);
@@ -348,18 +360,29 @@ TEST(PersistCatalogTest, StaleFingerprintFallsBackToBuild) {
   Database cold;
   cold.Put("edge", edge.Permuted({0, 1}));
   RunTriangle(cold, "lftj");
-  std::string error;
-  ASSERT_GT(cold.SaveCatalog(dir, &error), 0u) << error;
+  Status save_status;
+  const size_t saved = cold.SaveCatalog(dir, &save_status);
+  ASSERT_GT(saved, 0u) << save_status.ToString();
 
   // Different contents under the same name: every manifest entry is
-  // stale, nothing installs, queries rebuild and still answer.
+  // stale, nothing installs, queries rebuild and still answer. Every
+  // skip is counted and carries a per-file reason.
   Database changed;
-  Relation other = TriangleEdges();
+  Relation other(2);  // the saved edges plus two rows: new fingerprint
+  for (size_t r = 0; r < edge.size(); ++r) other.Add(edge.RowTuple(r));
   other.Add({1000, 1001});
   other.Add({1001, 1000});
   other.Build();
   changed.Put("edge", std::move(other));
-  EXPECT_EQ(changed.LoadCatalog(dir, &error), 0u);
+  CatalogOpenStats open_stats;
+  EXPECT_EQ(changed.LoadCatalog(dir, &open_stats), 0u);
+  EXPECT_TRUE(open_stats.status.ok()) << open_stats.status.ToString();
+  EXPECT_EQ(open_stats.installed, 0u);
+  EXPECT_EQ(open_stats.skipped, saved);
+  ASSERT_EQ(open_stats.skip_log.size(), saved);
+  for (const std::string& line : open_stats.skip_log) {
+    EXPECT_NE(line.find("stale"), std::string::npos) << line;
+  }
   const EngineRun run = RunTriangle(changed, "lftj");
   EXPECT_GT(run.stats.index_builds, 0u);
 }
@@ -370,8 +393,9 @@ TEST(PersistCatalogTest, CorruptCatalogFileFallsBackToBuild) {
   Database cold;
   cold.Put("edge", edge.Permuted({0, 1}));
   const EngineRun want = RunTriangle(cold, "ms");
-  std::string error;
-  ASSERT_GT(cold.SaveCatalog(dir, &error), 0u) << error;
+  Status save_status;
+  const size_t saved = cold.SaveCatalog(dir, &save_status);
+  ASSERT_GT(saved, 0u) << save_status.ToString();
 
   // Truncate every index file behind the manifest's back.
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
@@ -381,7 +405,10 @@ TEST(PersistCatalogTest, CorruptCatalogFileFallsBackToBuild) {
   }
   Database warm;
   warm.Put("edge", edge.Permuted({0, 1}));
-  EXPECT_EQ(warm.LoadCatalog(dir, &error), 0u);
+  CatalogOpenStats open_stats;
+  EXPECT_EQ(warm.LoadCatalog(dir, &open_stats), 0u);
+  EXPECT_EQ(open_stats.skipped, saved);
+  EXPECT_EQ(open_stats.skip_log.size(), saved);
   const EngineRun got = RunTriangle(warm, "ms");
   EXPECT_EQ(got.tuples, want.tuples);
   EXPECT_GT(got.stats.index_builds, 0u);  // clean rebuild, no crash
@@ -391,9 +418,52 @@ TEST(PersistCatalogTest, MissingManifestIsCleanError) {
   const std::string dir = TestDir("nomanifest");
   Database db;
   db.Put("edge", TriangleEdges());
-  std::string error;
-  EXPECT_EQ(db.LoadCatalog(dir, &error), 0u);
-  EXPECT_NE(error.find("manifest"), std::string::npos);
+  CatalogOpenStats open_stats;
+  EXPECT_EQ(db.LoadCatalog(dir, &open_stats), 0u);
+  EXPECT_FALSE(open_stats.status.ok());
+  EXPECT_NE(open_stats.status.message().find("manifest"), std::string::npos);
+}
+
+// Two writers racing SaveTo into one directory: the advisory flock
+// around the files+manifest sequence serializes them, so the directory
+// always ends as one writer's complete snapshot — openable, with every
+// manifest entry verifying — never an interleaving of the two.
+TEST(PersistCatalogTest, ConcurrentSaveToSerializedByDirLock) {
+  const std::string dir = TestDir("flock");
+  Relation edge = TriangleEdges();
+  Database a, b;
+  a.Put("edge", edge.Permuted({0, 1}));
+  b.Put("edge", edge.Permuted({0, 1}));
+  RunTriangle(a, "lftj");
+  RunTriangle(b, "ms");  // same relation: same fingerprints, same files
+
+  Status status_a, status_b;
+  size_t saved_a = 0, saved_b = 0;
+  std::thread ta([&] { saved_a = a.SaveCatalog(dir, &status_a); });
+  std::thread tb([&] { saved_b = b.SaveCatalog(dir, &status_b); });
+  ta.join();
+  tb.join();
+  EXPECT_TRUE(status_a.ok()) << status_a.ToString();
+  EXPECT_TRUE(status_b.ok()) << status_b.ToString();
+  EXPECT_GT(saved_a, 0u);
+  EXPECT_GT(saved_b, 0u);
+
+  // Whatever order the two snapshots landed in, the surviving catalog
+  // must be complete and internally consistent.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".wct") continue;
+    const Status v = VerifyIndexFile(entry.path().string());
+    EXPECT_TRUE(v.ok()) << entry.path() << ": " << v.ToString();
+  }
+  Database fresh;
+  fresh.Put("edge", edge.Permuted({0, 1}));
+  CatalogOpenStats open_stats;
+  const size_t installed = fresh.LoadCatalog(dir, &open_stats);
+  EXPECT_TRUE(open_stats.status.ok()) << open_stats.status.ToString();
+  EXPECT_GT(installed, 0u);
+  EXPECT_EQ(open_stats.skipped, 0u);
+  const EngineRun got = RunTriangle(fresh, "lftj");
+  EXPECT_EQ(got.stats.index_builds, 0u);
 }
 
 }  // namespace

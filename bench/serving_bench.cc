@@ -1,0 +1,301 @@
+// Serving-layer harness: what does putting the admission-controlled
+// daemon in front of the engines cost, and what does it buy under
+// overload?
+//
+// Three sections, emitted to BENCH_serving.json:
+//
+//   direct    in-process RunTimed over the warm catalog — the floor.
+//   served    the same query through a socket + prepared cache +
+//             admission slot; reports p50/p99, qps, and the admission
+//             overhead (served p50 - direct p50) in milliseconds.
+//   overload  K client threads hammering a 1-slot server; every offered
+//             request must be answered (exact OK or structured shed),
+//             and the shed rate + OK-latency tail quantify the
+//             controller's behavior at saturation.
+//
+// Standalone main (no google-benchmark): the interesting numbers are
+// end-to-end request latencies, not nanosecond microbenchmarks.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workloads.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/stopwatch.h"
+
+namespace wcoj {
+namespace {
+
+constexpr char kQueryText[] = "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)";
+constexpr int kServedReps = 200;
+constexpr int kOverloadClients = 8;
+constexpr int kOverloadPerClient = 40;
+
+double PercentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const size_t idx = static_cast<size_t>(p * (seconds.size() - 1) + 0.5);
+  return seconds[std::min(idx, seconds.size() - 1)] * 1e3;
+}
+
+// Minimal blocking line client against 127.0.0.1:<port>.
+struct Client {
+  int fd = -1;
+  std::string buf;
+
+  bool Connect(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    timeval tv{30, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      fd = -1;
+      return false;
+    }
+    return true;
+  }
+  bool RoundTrip(const std::string& request, ServerReply* reply) {
+    const std::string out = request + "\n";
+    if (fd < 0 ||
+        ::send(fd, out.data(), out.size(), MSG_NOSIGNAL) !=
+            static_cast<ssize_t>(out.size())) {
+      return false;
+    }
+    for (;;) {
+      const size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        const std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return ParseReplyLine(line, reply);
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+  }
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+int Run() {
+  Graph graph = Rmat(/*scale=*/10, /*num_edges=*/20000, 0.45, 0.2, 0.2,
+                     /*seed=*/7);
+  DatasetRelations rels(graph);
+  rels.Resample(/*selectivity=*/10.0, /*seed=*/1);
+
+  // --- direct: in-process floor over the warm catalog -----------------
+  const Query parsed = MustParseQuery(kQueryText);
+  BoundQuery bq = Bind(parsed, rels.Map(), parsed.Variables());
+  bq.catalog = rels.catalog();
+  std::unique_ptr<Engine> engine = CreateEngine("lftj");
+  ExecScratch scratch;
+  ExecOptions opts;
+  opts.scratch = &scratch;
+  uint64_t direct_count = 0;
+  std::vector<double> direct_secs;
+  (void)RunTimed(*engine, bq, opts);  // cold build outside the timings
+  for (int i = 0; i < kServedReps; ++i) {
+    const ExecResult r = RunTimed(*engine, bq, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "direct run failed: %s\n",
+                   r.status.ToString().c_str());
+      return 1;
+    }
+    direct_count = r.count;
+    direct_secs.push_back(r.seconds);
+  }
+  const double direct_p50_ms = PercentileMs(direct_secs, 0.5);
+
+  // --- served: the same query through the daemon ----------------------
+  ServerRequest req;
+  req.kind = ServerRequest::Kind::kQuery;
+  req.engine = "lftj";
+  req.text = kQueryText;
+  const std::string query_line = FormatRequestLine(req);
+
+  double served_p50_ms = 0.0, served_p99_ms = 0.0, served_qps = 0.0;
+  bool served_counts_equal = false;
+  {
+    ServerConfig config;
+    config.max_concurrency = 2;
+    auto server = std::make_unique<Server>(rels.Map(), rels.catalog(),
+                                           config);
+    const Status s = server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    Client client;
+    if (!client.Connect(server->port())) {
+      std::fprintf(stderr, "connect failed\n");
+      return 1;
+    }
+    served_counts_equal = true;
+    std::vector<double> served_secs;
+    Stopwatch wall;
+    for (int i = 0; i < kServedReps; ++i) {
+      Stopwatch one;
+      ServerReply reply;
+      if (!client.RoundTrip(query_line, &reply) || !reply.ok) {
+        std::fprintf(stderr, "served request %d failed\n", i);
+        return 1;
+      }
+      served_secs.push_back(one.ElapsedSeconds());
+      served_counts_equal &= reply.count == direct_count;
+    }
+    served_qps = kServedReps / wall.ElapsedSeconds();
+    served_p50_ms = PercentileMs(served_secs, 0.5);
+    served_p99_ms = PercentileMs(served_secs, 0.99);
+    server->Drain();
+  }
+
+  // --- overload: K clients vs one slot, bounded queue -----------------
+  uint64_t offered = 0, over_ok = 0, over_shed = 0, over_errors = 0;
+  bool over_counts_equal = true;
+  double over_p50_ms = 0.0, over_p99_ms = 0.0, over_qps = 0.0;
+  {
+    ServerConfig config;
+    config.max_concurrency = 1;
+    config.max_queue = 2;
+    config.retry_after_base_ms = 5;
+    auto server = std::make_unique<Server>(rels.Map(), rels.catalog(),
+                                           config);
+    const Status s = server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "overload server start failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::atomic<uint64_t> ok{0}, shed{0}, errors{0};
+    std::atomic<bool> counts_equal{true};
+    std::vector<std::vector<double>> per_thread_ok_secs(kOverloadClients);
+    std::vector<std::thread> clients;
+    Stopwatch wall;
+    for (int c = 0; c < kOverloadClients; ++c) {
+      clients.emplace_back([&, c] {
+        Client client;
+        if (!client.Connect(server->port())) {
+          errors.fetch_add(kOverloadPerClient);
+          return;
+        }
+        for (int i = 0; i < kOverloadPerClient; ++i) {
+          Stopwatch one;
+          ServerReply reply;
+          if (!client.RoundTrip(query_line, &reply)) {
+            errors.fetch_add(1);
+            return;
+          }
+          if (reply.ok) {
+            ok.fetch_add(1);
+            if (reply.count != direct_count) counts_equal.store(false);
+            per_thread_ok_secs[c].push_back(one.ElapsedSeconds());
+          } else if (reply.shed()) {
+            shed.fetch_add(1);
+          } else {
+            errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double wall_secs = wall.ElapsedSeconds();
+    server->Drain();
+    offered = static_cast<uint64_t>(kOverloadClients) * kOverloadPerClient;
+    over_ok = ok.load();
+    over_shed = shed.load();
+    over_errors = errors.load();
+    over_counts_equal = counts_equal.load();
+    std::vector<double> all_ok_secs;
+    for (const auto& v : per_thread_ok_secs) {
+      all_ok_secs.insert(all_ok_secs.end(), v.begin(), v.end());
+    }
+    over_p50_ms = PercentileMs(all_ok_secs, 0.5);
+    over_p99_ms = PercentileMs(all_ok_secs, 0.99);
+    over_qps = over_ok / wall_secs;
+  }
+
+  const char* path = "BENCH_serving.json";
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"query\": \"%s\",\n", kQueryText);
+  std::fprintf(out, "  \"count\": %llu,\n",
+               static_cast<unsigned long long>(direct_count));
+  std::fprintf(out, "  \"direct\": {\"p50_ms\": %.4f, \"reps\": %d},\n",
+               direct_p50_ms, kServedReps);
+  std::fprintf(out,
+               "  \"served\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+               "\"qps\": %.1f, \"admission_overhead_ms\": %.4f, "
+               "\"counts_equal\": %s},\n",
+               served_p50_ms, served_p99_ms, served_qps,
+               served_p50_ms - direct_p50_ms,
+               served_counts_equal ? "true" : "false");
+  std::fprintf(out,
+               "  \"overload\": {\"clients\": %d, \"offered\": %llu, "
+               "\"ok\": %llu, \"shed\": %llu, \"errors\": %llu, "
+               "\"shed_rate\": %.3f, \"qps\": %.1f, \"p50_ms\": %.4f, "
+               "\"p99_ms\": %.4f, \"counts_equal\": %s}\n",
+               kOverloadClients, static_cast<unsigned long long>(offered),
+               static_cast<unsigned long long>(over_ok),
+               static_cast<unsigned long long>(over_shed),
+               static_cast<unsigned long long>(over_errors),
+               offered > 0 ? static_cast<double>(over_shed) / offered : 0.0,
+               over_qps, over_p50_ms, over_p99_ms,
+               over_counts_equal ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf(
+      "serving: direct_p50=%.3fms served_p50=%.3fms p99=%.3fms "
+      "overhead=%.3fms qps=%.0f counts_equal=%d\n",
+      direct_p50_ms, served_p50_ms, served_p99_ms,
+      served_p50_ms - direct_p50_ms, served_qps, served_counts_equal);
+  std::printf(
+      "overload: offered=%llu ok=%llu shed=%llu errors=%llu "
+      "shed_rate=%.2f ok_p50=%.3fms ok_p99=%.3fms counts_equal=%d\n",
+      static_cast<unsigned long long>(offered),
+      static_cast<unsigned long long>(over_ok),
+      static_cast<unsigned long long>(over_shed),
+      static_cast<unsigned long long>(over_errors),
+      offered > 0 ? static_cast<double>(over_shed) / offered : 0.0,
+      over_p50_ms, over_p99_ms, over_counts_equal);
+  // The harness's own pass/fail: every request answered, counts exact.
+  if (over_errors != 0 || !served_counts_equal || !over_counts_equal) {
+    std::fprintf(stderr, "serving_bench: FAILED invariants\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wcoj
+
+int main() { return wcoj::Run(); }

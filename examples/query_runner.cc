@@ -39,10 +39,18 @@
 //
 // Resource governance: --mem-budget-mb N installs a per-query
 // MemoryBudget (CDS arenas, index builds, intermediates all charge it;
-// an over-budget query fails closed with BUDGET_EXCEEDED, exit 3) and
+// an over-budget query fails closed with BUDGET_EXCEEDED) and
 // --deadline-ms N shortens the default 60s deadline. The WCOJ_FAILPOINTS
 // environment variable ("persist.write=2,arena.slab=5") arms named
 // failpoints for fault-injection drills; see util/failpoint.h.
+//
+// Exit codes follow the shared CLI contract (CliExitCode, util/status.h)
+// so wrappers can pick a remedy without parsing stderr:
+//   0  answer printed
+//   1  other failure (cancelled, internal, ...)
+//   2  bad input: usage/parse errors, missing or corrupt catalog files
+//   3  memory budget exceeded (retry with a bigger --mem-budget-mb)
+//   4  deadline expired (retry with a longer --deadline-ms)
 
 #include <algorithm>
 #include <cstdio>
@@ -141,7 +149,9 @@ int main(int argc, char** argv) {
                  "usage: %s \"<query>\" [engine] [--repeat N] [--threads N] "
                  "[--kernel scalar|sse4|avx2|neon|auto] "
                  "[--mem-budget-mb N] [--deadline-ms N] "
-                 "[--save-catalog DIR] [--load-catalog DIR]\n",
+                 "[--save-catalog DIR] [--load-catalog DIR]\n"
+                 "exit codes: 0 ok, 1 other failure, 2 bad input or "
+                 "catalog files, 3 budget exceeded, 4 deadline expired\n",
                  argv[0]);
     return 2;
   }
@@ -214,7 +224,7 @@ int main(int argc, char** argv) {
     if (!open_stats.status.ok()) {
       std::fprintf(stderr, "load-catalog: %s\n",
                    open_stats.status.ToString().c_str());
-      return 2;
+      return CliExitCode(open_stats.status);
     }
     std::printf(
         "loaded catalog: %zu mmap-backed indexes from %s "
@@ -251,9 +261,11 @@ int main(int argc, char** argv) {
     if (r.timed_out || !r.ok()) {
       std::printf("%s: no answer (%s)\n", engine->name().c_str(),
                   r.status.ok() ? "timeout" : r.status.ToString().c_str());
-      // Structured exit codes: budget refusals are distinguishable from
-      // deadlines/cancellation so wrappers can retry with more memory.
-      return r.status.code() == StatusCode::kBudgetExceeded ? 3 : 1;
+      // Structured exit codes (CliExitCode): budget refusals (3) and
+      // expired deadlines (4) are distinguishable from each other and
+      // from cancellation, so wrappers can retry with more memory or
+      // more time respectively.
+      return CliExitCode(r.status);
     }
     if (opts.budget != nullptr) {
       std::printf("budget: peak=%.1f MiB of %ld MiB\n",
@@ -284,7 +296,7 @@ int main(int argc, char** argv) {
     if (!save_status.ok()) {
       std::fprintf(stderr, "save-catalog: %s\n",
                    save_status.ToString().c_str());
-      return 2;
+      return CliExitCode(save_status);
     }
     std::printf("saved catalog: %zu index files to %s\n", n,
                 save_catalog_dir.c_str());

@@ -147,6 +147,15 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
                               ExecScratchPool* scratch_pool,
                               WorkerPool* worker_pool) {
   ExecResult total;
+  // A run that arrives already cancelled (request token fired while the
+  // query sat in an admission queue, budget latched by a sibling) must
+  // not warm indexes or spawn morsels on its way out: fail closed
+  // before touching the catalog.
+  if (opts.Aborted()) {
+    total.timed_out = true;
+    FinalizeExecStatus(&total, opts);
+    return total;
+  }
   // A caller-provided pool dictates the worker count (its deques and
   // scratch slots are per-worker). A per-call pool is only constructed
   // after the early-outs below, once the batch size is known, so

@@ -1,0 +1,118 @@
+#include "server/prepared_cache.h"
+
+#include <set>
+#include <utility>
+
+#include "query/agm.h"
+#include "query/parser.h"
+
+namespace wcoj {
+
+PreparedQueryCache::PreparedQueryCache(
+    std::map<std::string, const Relation*> relations, IndexCatalog* catalog,
+    double heavy_log2_threshold, size_t capacity)
+    : relations_(std::move(relations)),
+      catalog_(catalog),
+      heavy_log2_threshold_(heavy_log2_threshold),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<PreparedQuery> PreparedQueryCache::Build(
+    const std::string& engine_name, const std::string& text,
+    Status* status) const {
+  auto fail = [status](const std::string& why) {
+    *status = Status(StatusCode::kInvalidArgument, why);
+    return nullptr;
+  };
+  std::unique_ptr<Engine> engine = CreateEngine(engine_name);
+  if (engine == nullptr) return fail("unknown engine '" + engine_name + "'");
+  const ParseResult parsed = ParseQuery(text);
+  if (!parsed.ok) return fail("parse error: " + parsed.error);
+  // The wire is an untrusted boundary; Bind() asserts on malformed
+  // input, so everything it trusts is vetted here first (the same
+  // checks query_runner performs at the CLI boundary).
+  for (const Atom& atom : parsed.query.atoms) {
+    const auto it = relations_.find(atom.relation);
+    if (it == relations_.end()) {
+      return fail("unknown relation '" + atom.relation + "'");
+    }
+    if (static_cast<int>(atom.vars.size()) != it->second->arity()) {
+      return fail("relation '" + atom.relation + "' has arity " +
+                  std::to_string(it->second->arity()) + ", got " +
+                  std::to_string(atom.vars.size()) + " variables");
+    }
+  }
+  std::set<std::string> atom_vars;
+  for (const Atom& atom : parsed.query.atoms) {
+    atom_vars.insert(atom.vars.begin(), atom.vars.end());
+  }
+  for (const Filter& f : parsed.query.filters) {
+    for (const std::string& v : {f.lo, f.hi}) {
+      if (atom_vars.count(v) == 0) {
+        return fail("filter variable '" + v + "' is not bound by any atom");
+      }
+    }
+  }
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->engine_name = engine_name;
+  prepared->text = text;
+  prepared->engine = std::move(engine);
+  prepared->bound =
+      Bind(parsed.query, relations_, parsed.query.Variables());
+  prepared->bound.catalog = catalog_;
+  // Classification for the fair queue: the AGM bound is the worst-case
+  // output size, the best static proxy for "how long can this run"
+  // available before execution. An unbounded query (shouldn't happen
+  // for vetted input) is conservatively heavy.
+  const AgmResult agm = AgmBound(prepared->bound);
+  prepared->agm_log2 = agm.ok ? agm.log2_bound : heavy_log2_threshold_;
+  prepared->cls = !agm.ok || agm.log2_bound >= heavy_log2_threshold_
+                      ? QueryClass::kHeavy
+                      : QueryClass::kCheap;
+  return prepared;
+}
+
+std::shared_ptr<const PreparedQuery> PreparedQueryCache::Get(
+    const std::string& engine_name, const std::string& text, Status* status,
+    bool* cache_hit) {
+  const std::string key = engine_name + '\n' + text;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      *status = OkStatus();
+      return it->second->second;
+    }
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Build outside the lock: parse+bind can take a while and must not
+  // stall hits on other keys. Two racers on one key build twice and the
+  // second insert wins the LRU slot — wasted work, never wrong results.
+  std::shared_ptr<PreparedQuery> prepared =
+      Build(engine_name, text, status);
+  if (prepared == nullptr) return nullptr;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, std::move(prepared));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  *status = OkStatus();
+  return lru_.front().second;
+}
+
+size_t PreparedQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace wcoj

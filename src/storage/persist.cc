@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cassert>
+#include <cerrno>
 #include <cstddef>
 #include <cstring>
 #include <filesystem>
@@ -112,6 +113,21 @@ void SetStatus(Status* status, StatusCode code, const std::string& what) {
   if (status != nullptr) *status = Status(code, what);
 }
 
+// The one format every per-file reason uses — "<full path>: <why>" —
+// so catalog skip logs and IO errors always name the exact file. The
+// errno flavor captures the syscall cause ("errno 13: Permission
+// denied") that a bare "cannot open" hides; callers must format before
+// any further libc call clobbers errno.
+std::string FileReason(const std::string& path, const std::string& why) {
+  return path + ": " + why;
+}
+
+std::string FileErrnoReason(const std::string& path, const std::string& why) {
+  const int err = errno;
+  return FileReason(path, why + " (errno " + std::to_string(err) + ": " +
+                              std::strerror(err) + ")");
+}
+
 // Advisory cross-process lock on a catalog directory: SaveTo holds it
 // exclusively across its whole tmp+rename sequence (files + manifest),
 // OpenFrom holds it shared, so a reader never observes a manifest from
@@ -151,28 +167,36 @@ class MappedFile {
                                          Status* status) {
     if (WCOJ_FAILPOINT(MmapFp())) {
       SetStatus(status, StatusCode::kIoError,
-                "mmap failed for " + path + " (failpoint persist.mmap)");
+                FileReason(path, "mmap failed (failpoint persist.mmap)"));
       return nullptr;
     }
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) {
-      SetStatus(status, StatusCode::kNotFound, "cannot open " + path);
+      SetStatus(status, StatusCode::kNotFound,
+                FileErrnoReason(path, "cannot open"));
       return nullptr;
     }
     struct stat st;
-    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
-      ::close(fd);
+    if (::fstat(fd, &st) != 0) {
       SetStatus(status, StatusCode::kIoError,
-                "cannot stat (or empty) " + path);
+                FileErrnoReason(path, "cannot stat"));
+      ::close(fd);
+      return nullptr;
+    }
+    if (st.st_size <= 0) {
+      ::close(fd);
+      SetStatus(status, StatusCode::kIoError, FileReason(path, "empty file"));
       return nullptr;
     }
     const size_t size = static_cast<size_t>(st.st_size);
     void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);  // the mapping holds its own reference
     if (data == MAP_FAILED) {
-      SetStatus(status, StatusCode::kIoError, "mmap failed for " + path);
+      SetStatus(status, StatusCode::kIoError,
+                FileErrnoReason(path, "mmap failed"));
+      ::close(fd);
       return nullptr;
     }
+    ::close(fd);  // the mapping holds its own reference
     return std::shared_ptr<MappedFile>(new MappedFile(data, size));
   }
 
@@ -380,7 +404,7 @@ std::unique_ptr<TrieIndex> OpenImpl(const std::string& path,
   if (file == nullptr) return nullptr;
   const uint8_t* base = file->data();
   auto reject = [&](const std::string& what) -> std::unique_ptr<TrieIndex> {
-    SetStatus(status, StatusCode::kDataLoss, path + ": " + what);
+    SetStatus(status, StatusCode::kDataLoss, FileReason(path, what));
     return nullptr;
   };
 
@@ -389,12 +413,12 @@ std::unique_ptr<TrieIndex> OpenImpl(const std::string& path,
   ScopedCharge map_charge(budget);
   if (!map_charge.TryCharge(file->size())) {
     SetStatus(status, StatusCode::kBudgetExceeded,
-              path + ": mapping over memory budget");
+              FileReason(path, "mapping over memory budget"));
     return nullptr;
   }
   if (WCOJ_FAILPOINT(ReadFp())) {
     SetStatus(status, StatusCode::kIoError,
-              path + ": read failed (failpoint persist.read)");
+              FileReason(path, "read failed (failpoint persist.read)"));
     return nullptr;
   }
 
@@ -648,15 +672,20 @@ size_t IndexCatalog::OpenFrom(const std::string& dir,
                               CatalogOpenStats* stats) {
   CatalogOpenStats local;
   if (stats == nullptr) stats = &local;
-  auto skip = [stats](const std::string& what, const std::string& why) {
+  // Every skip entry is FileReason-shaped: the full path of the file
+  // the manifest entry names (or the manifest itself for unparseable
+  // lines), then the reason — one format, pinned by persist_test.
+  auto skip = [stats](const std::string& path, const std::string& why) {
     ++stats->skipped;
-    stats->skip_log.push_back(what + ": " + why);
+    stats->skip_log.push_back(FileReason(path, why));
   };
+  const std::string manifest_path =
+      dir + "/" + std::string(CatalogManifestName());
   // Shared advisory lock: don't read a manifest a concurrent SaveTo is
   // mid-replacing (the rename itself is atomic; the lock keeps the
   // files the manifest names from racing the sweep).
   DirLock lock(dir, /*exclusive=*/false);
-  std::ifstream in(dir + "/" + std::string(CatalogManifestName()));
+  std::ifstream in(manifest_path);
   if (!in) {
     stats->status =
         Status(StatusCode::kNotFound, "no catalog manifest in " + dir);
@@ -683,25 +712,26 @@ size_t IndexCatalog::OpenFrom(const std::string& dir,
     uint64_t arity = 0, rows = 0;
     if (!(fields >> name >> fp_hex >> policy_name >> arity >> rows >>
           perm_csv)) {
-      skip(line, "malformed manifest entry");
+      skip(manifest_path, "malformed manifest entry '" + line + "'");
       continue;  // callers rebuild on demand
     }
+    const std::string path = dir + "/" + name;
     uint64_t fp = 0;
     try {
       fp = std::stoull(fp_hex, nullptr, 16);
     } catch (...) {
-      skip(name, "unparseable fingerprint");
+      skip(path, "unparseable fingerprint");
       continue;
     }
     TierPolicy policy;
     if (!ParseTierPolicyName(policy_name.c_str(), &policy)) {
-      skip(name, "unknown tier policy '" + policy_name + "'");
+      skip(path, "unknown tier policy '" + policy_name + "'");
       continue;
     }
     // Tier policy is part of the index identity: files encoded under a
     // different policy than this process would build with are stale.
     if (policy != current_policy) {
-      skip(name, "tier policy mismatch (file " + policy_name + ")");
+      skip(path, "tier policy mismatch (file " + policy_name + ")");
       continue;
     }
     std::vector<int> perm;
@@ -716,7 +746,7 @@ size_t IndexCatalog::OpenFrom(const std::string& dir,
       }
     }
     if (perm.size() != arity) {
-      skip(name, "malformed permutation '" + perm_csv + "'");
+      skip(path, "malformed permutation '" + perm_csv + "'");
       continue;
     }
     bool matched_live = false;
@@ -727,19 +757,18 @@ size_t IndexCatalog::OpenFrom(const std::string& dir,
       }
       matched_live = true;
       Status open_status;
-      std::unique_ptr<TrieIndex> index =
-          OpenIndex(dir + "/" + name, fp, &open_status);
+      std::unique_ptr<TrieIndex> index = OpenIndex(path, fp, &open_status);
       if (index == nullptr) {
         // Corrupt/truncated/missing file: reject this entry cleanly;
         // the in-memory build path covers it.
-        skip(name, open_status.ToString());
+        skip(path, open_status.ToString());
         continue;
       }
       Install(*live[i], perm, std::move(index));
       ++stats->installed;
     }
     if (!matched_live) {
-      skip(name, "stale fingerprint (no live relation matches)");
+      skip(path, "stale fingerprint (no live relation matches)");
     }
   }
   return stats->installed;

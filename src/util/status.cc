@@ -19,6 +19,24 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+int CliExitCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kBudgetExceeded:
+      return 3;
+    case StatusCode::kDeadlineExceeded:
+      return 4;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kIoError:
+    case StatusCode::kDataLoss:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -42,6 +42,20 @@ enum class StatusCode : int {
 
 const char* StatusCodeName(StatusCode code);
 
+class Status;
+
+// The CLI tools' shared exit-code contract (query_runner, the catalog
+// drills in CI). Wrappers branch on these to pick a remedy: rerun with
+// a bigger budget (3), a longer deadline (4), or fix the input/files
+// (2) — without parsing stderr.
+//   0  OK
+//   1  other failure (cancelled, internal, resource exhausted, ...)
+//   2  bad input: usage, parse errors, missing/corrupt catalog files
+//      (kInvalidArgument, kNotFound, kIoError, kDataLoss)
+//   3  memory budget exceeded (kBudgetExceeded)
+//   4  deadline expired (kDeadlineExceeded)
+int CliExitCode(const Status& status);
+
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}

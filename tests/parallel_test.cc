@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <limits>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "bench_util/workloads.h"
 #include "core/atom_index.h"
@@ -552,6 +554,124 @@ TEST(StopTokenTest, EveryEngineHonorsARequestedStop) {
     const ExecResult r = engine->Execute(bq, opts);
     EXPECT_TRUE(r.timed_out) << name;
   }
+}
+
+// The serving daemon's token topology: one connection token fans out to
+// N request-scoped children (StopToken parent chaining). Cancelling the
+// parent must reach every child; cancelling one child must never poison
+// a sibling or the parent.
+TEST(StopTokenTest, ParentChainFanOutCancelsAllChildrenAndOnlyChildren) {
+  StopToken connection;
+  constexpr int kChildren = 32;
+  std::vector<std::unique_ptr<StopToken>> requests;
+  for (int i = 0; i < kChildren; ++i) {
+    requests.push_back(std::make_unique<StopToken>(&connection));
+  }
+  for (const auto& child : requests) {
+    EXPECT_FALSE(child->stop_requested());
+  }
+  // One child winding itself down is invisible to everyone else.
+  requests[7]->RequestStop();
+  EXPECT_TRUE(requests[7]->stop_requested());
+  EXPECT_FALSE(connection.stop_requested());
+  for (int i = 0; i < kChildren; ++i) {
+    if (i == 7) continue;
+    EXPECT_FALSE(requests[i]->stop_requested()) << "sibling " << i;
+  }
+  // The parent firing reaches every child transitively.
+  connection.RequestStop();
+  for (int i = 0; i < kChildren; ++i) {
+    EXPECT_TRUE(requests[i]->stop_requested()) << "child " << i;
+  }
+}
+
+// Three-level chain (server drain root -> connection -> request): the
+// root firing is observed through two hops; an intermediate firing is
+// observed below but never above.
+TEST(StopTokenTest, ThreeLevelChainPropagatesDownOnly) {
+  StopToken root;
+  StopToken connection(&root);
+  StopToken request(&connection);
+  connection.RequestStop();
+  EXPECT_TRUE(request.stop_requested());
+  EXPECT_FALSE(root.stop_requested());
+
+  StopToken connection2(&root);
+  StopToken request2(&connection2);
+  root.RequestStop();
+  EXPECT_TRUE(connection2.stop_requested());
+  EXPECT_TRUE(request2.stop_requested());
+}
+
+// Engine-level fan-out promptness: N concurrent partitioned runs each
+// hold a request token chained off one shared parent. Firing the parent
+// once must wind all of them down promptly — the drain-deadline path of
+// the serving daemon.
+TEST(StopTokenTest, ParentCancelWindsDownConcurrentRunsPromptly) {
+  Graph g = Rmat(11, 60000, 0.57, 0.19, 0.19, 3);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge(a,b), edge(b,c), edge(c,d), edge(d,e)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c", "d", "e"});
+  IndexCatalog catalog;
+  bq.catalog = &catalog;
+  auto engine = CreateEngine("lftj");
+  WarmQueryIndexes(bq);  // timed region below is pure execution
+  StopToken parent;
+  constexpr int kRuns = 3;
+  std::vector<ExecResult> results(kRuns);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kRuns; ++i) {
+    threads.emplace_back([&, i] {
+      StopToken request(&parent);
+      ExecOptions opts;
+      opts.stop = &request;
+      results[i] = PartitionedExecute(*engine, bq, opts, /*num_threads=*/2,
+                                      /*granularity=*/4);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  parent.RequestStop();
+  Stopwatch watch;
+  for (auto& t : threads) t.join();
+  // The query's full cost is many seconds; a generous wind-down bound
+  // still proves the cancel reached every run through the chain.
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+  for (int i = 0; i < kRuns; ++i) {
+    EXPECT_TRUE(results[i].timed_out) << "run " << i;
+    EXPECT_EQ(results[i].status.code(), StatusCode::kCancelled)
+        << "run " << i;
+  }
+}
+
+// A run that is already cancelled on entry (request token fired while
+// the query sat in an admission queue) must fail closed before warming
+// a single index — a drain storm of queued requests should not leave a
+// freshly built catalog behind.
+TEST(PartitionedRunTest, PreCancelledRunPerformsNoIndexBuilds) {
+  Graph g = Rmat(7, 420, 0.57, 0.19, 0.19, 31);
+  GraphRelations rels = MakeGraphRelations(g);
+  Query q = MustParseQuery("edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)");
+  BoundQuery bq = Bind(q, rels.Map(), {"a", "b", "c"});
+  IndexCatalog catalog;
+  bq.catalog = &catalog;
+  auto engine = CreateEngine("lftj");
+  StopToken stop;
+  stop.RequestStop();
+  ExecOptions opts;
+  opts.stop = &stop;
+  const ExecResult r =
+      PartitionedExecute(*engine, bq, opts, /*num_threads=*/3,
+                         /*granularity=*/4);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.stats.index_builds, 0u);
+  // Contrast: the same run without the cancel builds the indexes.
+  const ExecResult live =
+      PartitionedExecute(*engine, bq, ExecOptions{}, /*num_threads=*/3,
+                         /*granularity=*/4);
+  EXPECT_TRUE(live.ok());
+  EXPECT_GT(live.stats.index_builds, 0u);
 }
 
 // Cancellation storm: a timer thread fires the StopToken at a random

@@ -414,6 +414,62 @@ TEST(PersistCatalogTest, CorruptCatalogFileFallsBackToBuild) {
   EXPECT_GT(got.stats.index_builds, 0u);  // clean rebuild, no crash
 }
 
+// Pins the one skip-reason format OpenFrom emits: every entry names the
+// full path of the file it rejected, and syscall failures carry the
+// errno. Operators grep these lines to find the broken file; the format
+// is contract, not decoration.
+TEST(PersistCatalogTest, SkipReasonsNameFullPathAndErrno) {
+  const std::string dir = TestDir("skipreasons");
+  Relation edge = TriangleEdges();
+  Database cold;
+  cold.Put("edge", edge.Permuted({0, 1}));
+  RunTriangle(cold, "lftj");
+  Status save_status;
+  const size_t saved = cold.SaveCatalog(dir, &save_status);
+  ASSERT_GT(saved, 0u) << save_status.ToString();
+
+  // Delete the index files but keep the manifest: each entry skips with
+  // a "cannot open" reason that must carry the full path and the errno
+  // (ENOENT here).
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wct") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  Database missing;
+  missing.Put("edge", edge.Permuted({0, 1}));
+  CatalogOpenStats open_stats;
+  EXPECT_EQ(missing.LoadCatalog(dir, &open_stats), 0u);
+  ASSERT_EQ(open_stats.skip_log.size(), saved);
+  for (const std::string& line : open_stats.skip_log) {
+    EXPECT_EQ(line.find(dir + "/"), 0u) << line;  // starts with full path
+    EXPECT_NE(line.find("cannot open"), std::string::npos) << line;
+    EXPECT_NE(line.find("errno"), std::string::npos) << line;
+  }
+
+  // Truncated files skip with a data-loss reason that still leads with
+  // the full path (no errno: the syscalls all succeeded).
+  const std::string dir2 = TestDir("skipreasons2");
+  Database cold2;
+  cold2.Put("edge", edge.Permuted({0, 1}));
+  RunTriangle(cold2, "lftj");
+  const size_t saved2 = cold2.SaveCatalog(dir2);
+  ASSERT_GT(saved2, 0u);
+  for (const auto& entry : std::filesystem::directory_iterator(dir2)) {
+    if (entry.path().extension() == ".wct") {
+      std::filesystem::resize_file(entry.path(), 48);
+    }
+  }
+  Database trunc;
+  trunc.Put("edge", edge.Permuted({0, 1}));
+  CatalogOpenStats trunc_stats;
+  EXPECT_EQ(trunc.LoadCatalog(dir2, &trunc_stats), 0u);
+  ASSERT_EQ(trunc_stats.skip_log.size(), saved2);
+  for (const std::string& line : trunc_stats.skip_log) {
+    EXPECT_EQ(line.find(dir2 + "/"), 0u) << line;
+  }
+}
+
 TEST(PersistCatalogTest, MissingManifestIsCleanError) {
   const std::string dir = TestDir("nomanifest");
   Database db;

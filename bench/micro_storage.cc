@@ -23,7 +23,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "query/parser.h"
 #include "storage/catalog.h"
 #include "storage/level_keys.h"
+#include "util/thread_annotations.h"
 #include "storage/persist.h"
 #include "storage/search_kernels.h"
 #include "storage/trie.h"
@@ -1100,7 +1100,7 @@ ExecResult StaticPartitionedExecute(const Engine& engine, const BoundQuery& q,
   if (lo > hi) return total;
   const int parts = std::max(1, num_threads * granularity);
   const Value span = hi - lo + 1;
-  std::mutex mu;
+  wcoj::Mutex mu;
   std::vector<std::function<void(int)>> jobs;
   for (int p = 0; p < parts; ++p) {
     const Value a = lo + span * p / parts;
@@ -1112,7 +1112,7 @@ ExecResult StaticPartitionedExecute(const Engine& engine, const BoundQuery& q,
       job_opts.var0_max = b;
       job_opts.scratch = scratch_pool->ForWorker(worker);
       ExecResult r = engine.Execute(q, job_opts);
-      std::lock_guard<std::mutex> lock(mu);
+      wcoj::MutexLock lock(mu);
       total.count += r.count;
       total.timed_out |= r.timed_out;
       total.stats.Add(r.stats);

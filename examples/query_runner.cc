@@ -32,9 +32,9 @@
 // A second process started with --load-catalog answers with
 // index_builds=0 — the persistent warm start:
 //
-//   $ ./query_runner "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)" ms \
+//   $ ./query_runner "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)" ms
 //         --save-catalog /tmp/cat
-//   $ ./query_runner "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)" ms \
+//   $ ./query_runner "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)" ms
 //         --load-catalog /tmp/cat
 //
 // Resource governance: --mem-budget-mb N installs a per-query

@@ -37,13 +37,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/protocol.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace {
 
@@ -216,7 +216,7 @@ int main(int argc, char** argv) {
 
   // Load mode: K connections x M requests, aggregate tail latency.
   std::atomic<uint64_t> ok{0}, shed{0}, err{0};
-  std::mutex lat_mu;
+  wcoj::Mutex lat_mu;
   std::vector<double> latencies;
   const Stopwatch wall;
   std::vector<std::thread> workers;
@@ -246,7 +246,7 @@ int main(int argc, char** argv) {
         }
       }
       ::close(fd);
-      std::lock_guard<std::mutex> lock(lat_mu);
+      wcoj::MutexLock lock(lat_mu);
       latencies.insert(latencies.end(), local.begin(), local.end());
     });
   }

@@ -9,7 +9,7 @@ namespace wcoj {
 
 const std::vector<Workload>& PaperWorkloads() {
   static const std::vector<Workload>* const kWorkloads =
-      new std::vector<Workload>{
+      new std::vector<Workload>{  // wcoj-lint: allow(naked-new) -- leaked static singleton
           {"3-clique",
            "edge_lt(a,b), edge_lt(b,c), edge_lt(a,c)",
            {"a", "b", "c"},

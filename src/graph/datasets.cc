@@ -49,7 +49,7 @@ uint64_t NameSeed(const std::string& name) {
 }  // namespace
 
 const std::vector<DatasetSpec>& AllDatasets() {
-  static const std::vector<DatasetSpec>* const kDatasets = new std::vector<
+  static const std::vector<DatasetSpec>* const kDatasets = new std::vector<  // wcoj-lint: allow(naked-new) -- leaked static singleton
       DatasetSpec>{
       // name, paper nodes, paper edges, skew class, "small dataset" bucket
       Make("wiki-Vote", 7115, 103689, SkewClass::kCommunity, false),

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -12,6 +11,7 @@
 #include "parallel/job_pool.h"
 #include "storage/trie.h"
 #include "util/failpoint.h"
+#include "util/thread_annotations.h"
 
 namespace wcoj {
 
@@ -297,7 +297,7 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
   const uint64_t run_token =
       opts.morsel_cds_reuse ? run_token_counter.fetch_add(1) + 1 : 0;
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::function<void(int)>> jobs;
   jobs.reserve(ranges.size());
   static FailPoint& worker_job_fp = FailPoints::Register("worker.job");
@@ -307,7 +307,7 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
         // Cancelled before this morsel ran: its share of the output is
         // missing, so the merged result must read timed_out.
         stop->RequestStop();
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         total.timed_out = true;
         return;
       }
@@ -316,7 +316,7 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       // crash or silently drop its output share.
       if (WCOJ_FAILPOINT(worker_job_fp)) {
         stop->RequestStop();
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         total.timed_out = true;
         MergeMorselStatus(
             &total.status,
@@ -335,7 +335,7 @@ ExecResult PartitionedExecute(const Engine& engine, const BoundQuery& q,
       // A failed morsel cancels the whole run: queued siblings skip,
       // running siblings wind down at their next poll.
       if (r.timed_out || !r.ok()) stop->RequestStop();
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       total.count += r.count;
       total.timed_out |= r.timed_out;
       MergeMorselStatus(&total.status, r.status);

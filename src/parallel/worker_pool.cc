@@ -20,10 +20,10 @@ WorkerPool::WorkerPool(int num_threads)
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -44,14 +44,14 @@ void WorkerPool::RunBatch(size_t count,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Deal contiguous index runs: morsel i and i+1 cover adjacent var0
     // ranges, so a worker's initial share is one coherent slice of the
     // key space and steal-half migrates coherent tails.
     for (int w = 0; w < num_threads_; ++w) {
       const size_t lo = count * static_cast<size_t>(w) / num_threads_;
       const size_t hi = count * (static_cast<size_t>(w) + 1) / num_threads_;
-      std::lock_guard<std::mutex> dlock(deques_[w]->mu);
+      MutexLock dlock(deques_[w]->mu);
       deques_[w]->jobs.clear();
       for (size_t i = lo; i < hi; ++i) deques_[w]->jobs.push_back(i);
     }
@@ -59,12 +59,12 @@ void WorkerPool::RunBatch(size_t count,
     pending_.store(count, std::memory_order_release);
     ++generation_;
   }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return pending_.load(std::memory_order_acquire) == 0 &&
-           active_workers_ == 0;
-  });
+  work_cv_.NotifyAll();
+  MutexLock lock(mu_);
+  while (pending_.load(std::memory_order_acquire) != 0 ||
+         active_workers_ != 0) {
+    done_cv_.Wait(mu_);
+  }
   batch_ = nullptr;
 }
 
@@ -73,10 +73,10 @@ void WorkerPool::WorkerLoop(int w) {
   for (;;) {
     const std::function<void(size_t, int)>* batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_cv_.Wait(mu_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       batch = batch_;
@@ -102,13 +102,13 @@ void WorkerPool::WorkerLoop(int w) {
       // notified) between our failed scan and the wait below is a
       // missed wakeup — the timeout bounds that stall. 50ms keeps the
       // idle churn negligible on oversubscribed hosts.
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (pending_.load(std::memory_order_acquire) == 0) break;
-      idle_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      idle_cv_.WaitFor(mu_, std::chrono::milliseconds(50));
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_workers_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--active_workers_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -118,15 +118,15 @@ void WorkerPool::FinishJob() {
     // Last job of the batch: release the Run() caller and every parked
     // idle worker. Lock so the notify cannot race the waiters'
     // predicate checks.
-    std::lock_guard<std::mutex> lock(mu_);
-    done_cv_.notify_all();
-    idle_cv_.notify_all();
+    MutexLock lock(mu_);
+    done_cv_.NotifyAll();
+    idle_cv_.NotifyAll();
   }
 }
 
 bool WorkerPool::PopOwn(int w, size_t* job) {
   WorkerDeque& d = *deques_[w];
-  std::lock_guard<std::mutex> lock(d.mu);
+  MutexLock lock(d.mu);
   if (d.jobs.empty()) return false;
   *job = d.jobs.front();
   d.jobs.pop_front();
@@ -139,7 +139,7 @@ bool WorkerPool::StealHalf(int w, size_t* job) {
     WorkerDeque& victim = *deques_[v];
     std::vector<size_t> grabbed;
     {
-      std::lock_guard<std::mutex> vlock(victim.mu);
+      MutexLock vlock(victim.mu);
       const size_t n = victim.jobs.size();
       if (n == 0) continue;
       const size_t take = (n + 1) / 2;
@@ -151,13 +151,13 @@ bool WorkerPool::StealHalf(int w, size_t* job) {
     *job = grabbed.front();
     if (grabbed.size() > 1) {
       {
-        std::lock_guard<std::mutex> olock(deques_[w]->mu);
+        MutexLock olock(deques_[w]->mu);
         deques_[w]->jobs.assign(grabbed.begin() + 1, grabbed.end());
       }
       // Surplus is now stealable from us. Lock so the notify cannot
       // slip between an idle worker's last failed scan and its wait.
-      std::lock_guard<std::mutex> lock(mu_);
-      idle_cv_.notify_all();
+      MutexLock lock(mu_);
+      idle_cv_.NotifyAll();
     }
     return true;
   }

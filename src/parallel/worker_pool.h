@@ -26,14 +26,14 @@
 // is reusable, not shareable.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace wcoj {
 
@@ -57,30 +57,36 @@ class WorkerPool {
   // One mutex-guarded deque of batch job indices per worker. A morsel
   // is an engine execution (milliseconds), so a plain lock beats the
   // complexity of a lock-free deque here.
+  //
+  // Lock order: mu_ before any WorkerDeque::mu (RunBatch's deal loop);
+  // a deque lock is never held while acquiring mu_ (StealHalf releases
+  // the victim and its own deque before touching mu_ to notify).
   struct WorkerDeque {
-    std::mutex mu;
-    std::deque<size_t> jobs;
+    Mutex mu;
+    std::deque<size_t> jobs WCOJ_GUARDED_BY(mu);
   };
 
-  void RunBatch(size_t count, const std::function<void(size_t, int)>& invoke);
-  void WorkerLoop(int w);
+  void RunBatch(size_t count, const std::function<void(size_t, int)>& invoke)
+      WCOJ_EXCLUDES(mu_);
+  void WorkerLoop(int w) WCOJ_EXCLUDES(mu_);
   bool PopOwn(int w, size_t* job);
-  bool StealHalf(int w, size_t* job);
-  void FinishJob();
+  bool StealHalf(int w, size_t* job) WCOJ_EXCLUDES(mu_);
+  void FinishJob() WCOJ_EXCLUDES(mu_);
 
   const int num_threads_;
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
   std::vector<std::thread> threads_;
 
   // Batch state, guarded by mu_ except where noted.
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: new batch or shutdown
-  std::condition_variable idle_cv_;  // workers: stolen surplus or batch end
-  std::condition_variable done_cv_;  // Run(): batch fully drained
-  const std::function<void(size_t, int)>* batch_ = nullptr;
-  uint64_t generation_ = 0;
-  int active_workers_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers: new batch or shutdown
+  CondVar idle_cv_;  // workers: stolen surplus or batch end
+  CondVar done_cv_;  // Run(): batch fully drained
+  const std::function<void(size_t, int)>* batch_ WCOJ_GUARDED_BY(mu_) =
+      nullptr;
+  uint64_t generation_ WCOJ_GUARDED_BY(mu_) = 0;
+  int active_workers_ WCOJ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ WCOJ_GUARDED_BY(mu_) = false;
   std::atomic<size_t> pending_{0};  // jobs not yet finished
 };
 

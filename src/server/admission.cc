@@ -47,7 +47,7 @@ void AdmissionController::GrantWaitersLocked() {
     prefer_cheap_ = !prefer_cheap_;
     granted_any = true;
   }
-  if (granted_any) cv_.notify_all();
+  if (granted_any) cv_.NotifyAll();
 }
 
 void AdmissionController::RemoveWaiterLocked(Waiter* w) {
@@ -59,7 +59,7 @@ void AdmissionController::RemoveWaiterLocked(Waiter* w) {
 AdmitResult AdmissionController::Admit(QueryClass cls,
                                        const Deadline& deadline,
                                        const StopToken* cancel) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (draining_) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     return {AdmitOutcome::kShed, -1,
@@ -101,7 +101,7 @@ AdmitResult AdmissionController::Admit(QueryClass cls,
       RemoveWaiterLocked(&w);
       return {AdmitOutcome::kDeadline, -1, 0, 0};
     }
-    cv_.wait_for(lock, std::chrono::milliseconds(5));
+    cv_.WaitFor(mu_, std::chrono::milliseconds(5));
   }
   if (w.granted) {
     // A grant that raced a cancel still holds the slot; the caller's
@@ -119,26 +119,26 @@ AdmitResult AdmissionController::Admit(QueryClass cls,
 
 void AdmissionController::Release(int slot) {
   assert(slot >= 0 && slot < config_.max_concurrency);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_slots_.push_back(slot);
   GrantWaitersLocked();
 }
 
 void AdmissionController::BeginDrain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   draining_ = true;
   // Queued waiters observe draining_ on their next tick and shed
   // themselves (each removes its own node, keeping ownership simple).
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int AdmissionController::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return config_.max_concurrency - static_cast<int>(free_slots_.size());
 }
 
 uint64_t AdmissionController::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cheap_.size() + heavy_.size();
 }
 

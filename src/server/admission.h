@@ -28,13 +28,12 @@
 // graceful-shutdown half of the server's SIGTERM story. Thread-safe.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace wcoj {
 
@@ -95,6 +94,10 @@ class AdmissionController {
   }
 
  private:
+  // A Waiter lives on its Admit caller's stack and is only reachable
+  // through the class queues, so its fields are de-facto guarded by mu_
+  // (the analysis cannot tie a nested struct's fields to the outer
+  // class's capability).
   struct Waiter {
     QueryClass cls;
     bool granted = false;
@@ -102,23 +105,23 @@ class AdmissionController {
   };
 
   // Hands free slots to queued waiters, alternating classes when both
-  // wait. Caller holds mu_.
-  void GrantWaitersLocked();
-  std::deque<Waiter*>& QueueFor(QueryClass cls) {
+  // wait.
+  void GrantWaitersLocked() WCOJ_REQUIRES(mu_);
+  std::deque<Waiter*>& QueueFor(QueryClass cls) WCOJ_REQUIRES(mu_) {
     return cls == QueryClass::kCheap ? cheap_ : heavy_;
   }
-  void RemoveWaiterLocked(Waiter* w);
-  int64_t ShedHintLocked(QueryClass cls) const;
+  void RemoveWaiterLocked(Waiter* w) WCOJ_REQUIRES(mu_);
+  int64_t ShedHintLocked(QueryClass cls) const WCOJ_REQUIRES(mu_);
 
   const AdmissionConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // waiters: granted / drain
-  std::vector<int> free_slots_;
-  std::deque<Waiter*> cheap_;
-  std::deque<Waiter*> heavy_;
-  bool prefer_cheap_ = true;  // round-robin cursor
-  bool draining_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;  // waiters: granted / drain
+  std::vector<int> free_slots_ WCOJ_GUARDED_BY(mu_);
+  std::deque<Waiter*> cheap_ WCOJ_GUARDED_BY(mu_);
+  std::deque<Waiter*> heavy_ WCOJ_GUARDED_BY(mu_);
+  bool prefer_cheap_ WCOJ_GUARDED_BY(mu_) = true;  // round-robin cursor
+  bool draining_ WCOJ_GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};

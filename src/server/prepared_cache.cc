@@ -76,7 +76,7 @@ std::shared_ptr<const PreparedQuery> PreparedQueryCache::Get(
     bool* cache_hit) {
   const std::string key = engine_name + '\n' + text;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -94,10 +94,15 @@ std::shared_ptr<const PreparedQuery> PreparedQueryCache::Get(
       Build(engine_name, text, status);
   if (prepared == nullptr) return nullptr;
   misses_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    // Another thread inserted this key while we built: serve its entry.
+    // *status must be reset here too — a caller reusing a Status from a
+    // previous failed request must not see that error next to a valid
+    // prepared query (regression-pinned in server_test).
     lru_.splice(lru_.begin(), lru_, it->second);
+    *status = OkStatus();
     return it->second->second;
   }
   lru_.emplace_front(key, std::move(prepared));
@@ -111,7 +116,7 @@ std::shared_ptr<const PreparedQuery> PreparedQueryCache::Get(
 }
 
 size_t PreparedQueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

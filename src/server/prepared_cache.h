@@ -24,12 +24,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/engine.h"
 #include "query/query.h"
 #include "server/admission.h"
+#include "util/thread_annotations.h"
 
 namespace wcoj {
 
@@ -76,10 +76,12 @@ class PreparedQueryCache {
   const double heavy_log2_threshold_;
   const size_t capacity_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // LRU: most recent at the front; the map points into the list.
-  std::list<std::pair<std::string, std::shared_ptr<PreparedQuery>>> lru_;
-  std::map<std::string, decltype(lru_)::iterator> index_;
+  std::list<std::pair<std::string, std::shared_ptr<PreparedQuery>>> lru_
+      WCOJ_GUARDED_BY(mu_);
+  std::map<std::string, decltype(lru_)::iterator> index_
+      WCOJ_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

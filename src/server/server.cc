@@ -107,7 +107,7 @@ void Server::AcceptLoop() {
     conn->fd = fd;
     Connection* cp = conn.get();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       conns_.push_back(std::move(conn));
     }
     cp->thread = std::thread([this, cp] { ServeConnection(cp); });
@@ -125,7 +125,7 @@ void Server::WatchdogLoop() {
   // lock means a connection can never close its fd mid-poll.
   while (!drained_.load(std::memory_order_relaxed)) {
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       for (const auto& c : conns_) {
         if (!c->executing.load(std::memory_order_relaxed) ||
             c->done.load(std::memory_order_relaxed) || c->fd < 0) {
@@ -376,7 +376,7 @@ void Server::ServeConnection(Connection* conn) {
   {
     // Close under the list lock so the watchdog can never poll a
     // recycled descriptor.
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     ::close(conn->fd);
     conn->fd = -1;
   }
@@ -387,7 +387,7 @@ void Server::ServeConnection(Connection* conn) {
 void Server::ReapFinishedConnections() {
   std::vector<std::unique_ptr<Connection>> finished;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if ((*it)->done.load(std::memory_order_acquire) &&
           (*it)->thread.joinable()) {
@@ -403,7 +403,7 @@ void Server::ReapFinishedConnections() {
 
 void Server::Drain() {
   if (!started_.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(drain_mu_);
   if (drained_.load(std::memory_order_relaxed)) return;
   // Phase 1: stop taking on work. The accept loop exits on its next
   // tick; queued admission waiters shed with RETRY_AFTER; connections
@@ -430,7 +430,7 @@ void Server::Drain() {
   for (;;) {
     ReapFinishedConnections();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       if (conns_.empty()) break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -438,12 +438,21 @@ void Server::Drain() {
   drained_.store(true, std::memory_order_relaxed);
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
   // Phase 4: flush the catalog so the next process warm-starts from
-  // everything this one built.
+  // everything this one built. A failed flush must not be swallowed:
+  // the daemon keeps its answer-serving guarantees, but the operator
+  // has to learn the next start will be cold — flush_status() carries
+  // the cause (printed in serverd's drain-complete line, pinned by
+  // server_test.DrainSurfacesCatalogFlushFailure).
   if (!config_.save_catalog_dir.empty()) {
     Status flush_status;
     catalog_->SaveTo(config_.save_catalog_dir, &flush_status);
-    (void)flush_status;  // surfaced via the daemon's drain log
+    flush_status_ = flush_status;
   }
+}
+
+Status Server::flush_status() const {
+  MutexLock lock(drain_mu_);
+  return flush_status_;
 }
 
 ServerStats Server::stats() const {

@@ -45,7 +45,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +57,7 @@
 #include "storage/catalog.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace wcoj {
 
@@ -122,6 +122,11 @@ class Server {
   ServerStats stats() const;
   bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
+  // Outcome of the drain-time catalog flush (OK when no save_catalog_dir
+  // is configured or the drain has not run). A non-OK value means the
+  // next process cold-starts; serverd prints it in the drain log.
+  Status flush_status() const WCOJ_EXCLUDES(drain_mu_);
+
  private:
   struct Connection {
     int fd = -1;
@@ -172,10 +177,18 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> drained_{false};
-  std::mutex drain_mu_;  // serializes concurrent Drain() callers
+  mutable Mutex drain_mu_;  // serializes concurrent Drain() callers and
+                            // guards the flush outcome below
+  Status flush_status_ WCOJ_GUARDED_BY(drain_mu_);
 
-  mutable std::mutex conns_mu_;
-  std::list<std::unique_ptr<Connection>> conns_;
+  // Guards the connection list AND each Connection's fd lifecycle
+  // transitions (close + set to -1), so the watchdog can never poll a
+  // recycled descriptor. A Connection's own thread reads its fd
+  // lock-free: it is the only writer, and both its writes happen-before
+  // any other thread can observe the Connection (thread creation) or
+  // after it (done flag release/acquire).
+  mutable Mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_ WCOJ_GUARDED_BY(conns_mu_);
 
   // Stats counters (relaxed; exactness only matters when quiescent).
   std::atomic<uint64_t> connections_accepted_{0};

@@ -155,5 +155,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.drain_completed),
       static_cast<unsigned long long>(s.drain_cancelled));
+  // A failed drain-time catalog flush is an operator-visible event (the
+  // next start is cold), not a daemon failure: report, exit 0.
+  const Status flush = server.flush_status();
+  if (!flush.ok()) {
+    std::fprintf(stderr, "catalog flush failed: %s\n",
+                 flush.ToString().c_str());
+  }
   return 0;
 }

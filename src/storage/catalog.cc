@@ -18,7 +18,7 @@ const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
   const Key key{&rel, perm};
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::shared_ptr<Entry>& slot = entries_[key];
     if (slot == nullptr) slot = std::make_shared<Entry>();
     entry = slot;
@@ -47,7 +47,7 @@ const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
     // replaced it.
     if (status != nullptr) *status = entry->build_status;
     if (built != nullptr) *built = false;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second == entry) entries_.erase(it);
     return nullptr;
@@ -58,7 +58,7 @@ const TrieIndex* IndexCatalog::GetOrBuild(const Relation& rel,
 }
 
 void IndexCatalog::Invalidate(const Relation* rel) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.rel == rel) {
       it = entries_.erase(it);
@@ -69,12 +69,12 @@ void IndexCatalog::Invalidate(const Relation* rel) {
 }
 
 void IndexCatalog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 
 size_t IndexCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

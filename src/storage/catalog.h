@@ -26,7 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag / std::call_once (Entry build race)
 #include <string>
 #include <vector>
 
@@ -34,6 +34,7 @@
 #include "storage/trie.h"
 #include "util/mem_budget.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace wcoj {
 
@@ -138,6 +139,10 @@ class IndexCatalog {
   // lock; once_flag serializes the build without blocking other keys.
   // `ready` flips after the once fires — SaveTo's way of telling a
   // completed index from one still mid-build.
+  //
+  // Entry fields are NOT guarded by mu_: the once_flag is their
+  // synchronization edge (winner writes before the once completes,
+  // waiters read after), which the static analysis cannot model.
   struct Entry {
     std::once_flag once;
     std::unique_ptr<TrieIndex> index;
@@ -148,8 +153,8 @@ class IndexCatalog {
     Status build_status;
   };
 
-  mutable std::mutex mu_;
-  std::map<Key, std::shared_ptr<Entry>> entries_;
+  mutable Mutex mu_;
+  std::map<Key, std::shared_ptr<Entry>> entries_ WCOJ_GUARDED_BY(mu_);
   std::atomic<uint64_t> builds_{0};
   std::atomic<uint64_t> hits_{0};
 };

@@ -197,7 +197,8 @@ class MappedFile {
       return nullptr;
     }
     ::close(fd);  // the mapping holds its own reference
-    return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+    return std::shared_ptr<MappedFile>(
+        new MappedFile(data, size));  // wcoj-lint: allow(naked-new) -- private ctor
   }
 
   ~MappedFile() { ::munmap(data_, size_); }
@@ -238,7 +239,8 @@ class TrieIndexMapper {
       const FileHeader& h, const std::vector<int>& perm,
       const std::vector<LevelSection>& secs,
       std::shared_ptr<MappedFile> file) {
-    std::unique_ptr<TrieIndex> index(new TrieIndex());
+    std::unique_ptr<TrieIndex> index(
+        new TrieIndex());  // wcoj-lint: allow(naked-new) -- private ctor
     const uint8_t* base = file->data();
     index->rows_ = h.rows;
     index->perm_ = perm;
@@ -583,7 +585,7 @@ size_t IndexCatalog::SaveTo(const std::string& dir, Status* status) {
   // their once_flag fires, so the writes below run lock-free.
   std::vector<std::pair<Key, std::shared_ptr<Entry>>> snapshot;
   {
-    std::lock_guard<std::mutex> lock_map(mu_);
+    MutexLock lock_map(mu_);
     snapshot.assign(entries_.begin(), entries_.end());
   }
   std::ostringstream manifest;
@@ -652,7 +654,7 @@ void IndexCatalog::Install(const Relation& rel, std::vector<int> perm,
                            std::unique_ptr<TrieIndex> index) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::shared_ptr<Entry>& slot = entries_[Key{&rel, std::move(perm)}];
     if (slot == nullptr) slot = std::make_shared<Entry>();
     entry = slot;

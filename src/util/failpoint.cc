@@ -3,7 +3,8 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace wcoj {
 
@@ -13,15 +14,17 @@ std::atomic<bool> FailPoints::counting_{false};
 namespace {
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // Node-stable: Register hands out references that must survive any
   // later registration.
-  std::map<std::string, std::unique_ptr<FailPoint>> points;
-  int armed_count = 0;  // under mu; mirrors into FailPoints::active_
+  std::map<std::string, std::unique_ptr<FailPoint>> points
+      WCOJ_GUARDED_BY(mu);
+  int armed_count WCOJ_GUARDED_BY(mu) = 0;  // mirrors FailPoints::active_
 };
 
 Registry& GetRegistry() {
-  static Registry* r = new Registry();  // leaked: outlives static dtors
+  static Registry* r =
+      new Registry();  // wcoj-lint: allow(naked-new) -- leak outlives static dtors
   return *r;
 }
 
@@ -50,7 +53,7 @@ bool FailPoint::Evaluate() {
 
 FailPoint& FailPoints::Register(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   if (it == r.points.end()) {
     it = r.points.emplace(name, std::make_unique<FailPoint>(name)).first;
@@ -62,7 +65,7 @@ void FailPoints::Arm(const std::string& name, uint64_t k, int64_t times) {
   if (k == 0) k = 1;
   FailPoint& p = Register(name);
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   if (!p.armed_.load(std::memory_order_relaxed)) ++r.armed_count;
   p.hits_.store(0, std::memory_order_relaxed);
   p.fire_at_.store(k, std::memory_order_relaxed);
@@ -73,7 +76,7 @@ void FailPoints::Arm(const std::string& name, uint64_t k, int64_t times) {
 
 void FailPoints::Disarm(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   if (it == r.points.end()) return;
   if (it->second->armed_.load(std::memory_order_relaxed)) {
@@ -88,7 +91,7 @@ void FailPoints::Disarm(const std::string& name) {
 
 void FailPoints::DisarmAll() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   for (auto& [name, p] : r.points) {
     p->armed_.store(false, std::memory_order_relaxed);
     p->times_.store(0, std::memory_order_relaxed);
@@ -100,28 +103,28 @@ void FailPoints::DisarmAll() {
 
 void FailPoints::SetCounting(bool on) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   counting_.store(on, std::memory_order_relaxed);
   active_.store(r.armed_count > 0 || on, std::memory_order_relaxed);
 }
 
 uint64_t FailPoints::Hits(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second->hits();
 }
 
 uint64_t FailPoints::Fired(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second->fired();
 }
 
 void FailPoints::ResetCounters() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   for (auto& [name, p] : r.points) {
     p->hits_.store(0, std::memory_order_relaxed);
     p->fired_.store(0, std::memory_order_relaxed);
@@ -130,7 +133,7 @@ void FailPoints::ResetCounters() {
 
 std::vector<std::string> FailPoints::Names() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<std::string> out;
   out.reserve(r.points.size());
   for (const auto& [name, p] : r.points) out.push_back(name);

@@ -46,7 +46,7 @@ class MemoryBudget {
   // charge would push usage past the limit. A refusal latches
   // exceeded() — the query is over budget even though this particular
   // allocation never happened.
-  bool TryCharge(uint64_t bytes) {
+  [[nodiscard]] bool TryCharge(uint64_t bytes) {
     const uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed)
                          + bytes;
     if (limit_ != 0 && now > limit_) {
@@ -110,7 +110,7 @@ class ScopedCharge {
   ScopedCharge& operator=(const ScopedCharge&) = delete;
 
   // Strict add-on charge; false leaves the running total unchanged.
-  bool TryCharge(uint64_t bytes) {
+  [[nodiscard]] bool TryCharge(uint64_t bytes) {
     if (budget_ == nullptr) return true;
     if (!budget_->TryCharge(bytes)) return false;
     charged_ += bytes;
@@ -126,7 +126,7 @@ class ScopedCharge {
   // Re-targets the running total to `bytes` (release-then-charge): for
   // call sites whose live footprint is replaced step by step, e.g. the
   // materialized intermediate of a binary-join pipeline.
-  bool TryRebase(uint64_t bytes) {
+  [[nodiscard]] bool TryRebase(uint64_t bytes) {
     if (budget_ == nullptr) return true;
     if (charged_ > 0) {
       budget_->Release(charged_);

@@ -56,7 +56,7 @@ class Status;
 //   4  deadline expired (kDeadlineExceeded)
 int CliExitCode(const Status& status);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -91,12 +91,15 @@ inline Status OkStatus() { return Status(); }
 // Value-or-error return. Accessing value() on an error is a programming
 // bug (asserted in Debug); callers must test ok() first.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
-  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor) -- the
+      // error-propagation idiom: `return status;` from a StatusOr fn
+      : status_(std::move(status)) {
     assert(!status_.ok() && "StatusOr from OK status needs a value");
   }
-  StatusOr(T value)  // NOLINT
+  StatusOr(T value)  // NOLINT(google-explicit-constructor) -- the
+      // value-return idiom: `return value;` from a StatusOr fn
       : status_(), value_(std::move(value)), has_value_(true) {}
 
   bool ok() const { return has_value_; }

@@ -1,0 +1,32 @@
+// KNOWN-BAD: mutates a GUARDED_BY field without holding its mutex, and
+// calls a REQUIRES function unlocked. lint_guard_test compiles this
+// with clang -Werror=thread-safety and asserts the build FAILS — if it
+// ever compiles, the annotation gate rotted (macros expanding to
+// nothing under clang, a broken wrapper attribute, a dropped flag).
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpUnlocked() {
+    ++value_;  // write to GUARDED_BY field without mu_
+  }
+  void BumpLocked() WCOJ_REQUIRES(mu_) { ++value_; }
+  int Get() {
+    return value_;  // read without mu_
+  }
+
+ private:
+  wcoj::Mutex mu_;
+  int value_ WCOJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.BumpUnlocked();
+  counter.BumpLocked();  // REQUIRES(mu_) called without the lock
+  return counter.Get();
+}

@@ -1,0 +1,32 @@
+// Control for guarded_by_bad.cc: the same structure with the lock held
+// everywhere the capability demands it. Must COMPILE under clang
+// -Werror=thread-safety, proving the bad snippet fails because of the
+// lock-discipline violations and not an unrelated error.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() WCOJ_EXCLUDES(mu_) {
+    wcoj::MutexLock lock(mu_);
+    BumpLocked();
+  }
+  void BumpLocked() WCOJ_REQUIRES(mu_) { ++value_; }
+  int Get() WCOJ_EXCLUDES(mu_) {
+    wcoj::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  wcoj::Mutex mu_;
+  int value_ WCOJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return counter.Get();
+}

@@ -1,0 +1,20 @@
+// KNOWN-BAD: drops a Status, a StatusOr, and a TryCharge result.
+// lint_guard_test compiles this with -Werror=unused-result and asserts
+// the build FAILS — if it ever compiles, the [[nodiscard]] gate rotted.
+#include "util/mem_budget.h"
+#include "util/status.h"
+
+namespace {
+
+wcoj::Status DoWork() { return wcoj::OkStatus(); }
+wcoj::StatusOr<int> Compute() { return 42; }
+
+}  // namespace
+
+int main() {
+  DoWork();    // dropped Status
+  Compute();   // dropped StatusOr
+  wcoj::MemoryBudget budget(1 << 20);
+  budget.TryCharge(64);  // dropped strict-charge verdict
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Control for nodiscard_bad.cc: identical calls, every result consumed.
+// Must COMPILE under the same flags, proving the bad snippet fails for
+// the right reason (the dropped results, not some unrelated error).
+#include "util/mem_budget.h"
+#include "util/status.h"
+
+namespace {
+
+wcoj::Status DoWork() { return wcoj::OkStatus(); }
+wcoj::StatusOr<int> Compute() { return 42; }
+
+}  // namespace
+
+int main() {
+  const wcoj::Status status = DoWork();
+  const wcoj::StatusOr<int> result = Compute();
+  wcoj::MemoryBudget budget(1 << 20);
+  int rc = status.ok() && result.ok() ? 0 : 1;
+  if (!budget.TryCharge(64)) rc = 1;
+  return rc;
+}

@@ -1,0 +1,54 @@
+# Compile-fail regression test for the static gates (ctest:
+# lint_guard_test). Proves the gates FIRE on known-bad code — a gate
+# that silently stops firing (a dropped flag, a macro expanding to
+# nothing) is worse than no gate, because the tree looks clean.
+#
+# Invoked as:
+#   cmake -DCXX=<compiler> -DCXX_ID=<id> -DSRC=<repo root> -P run_lint_guard.cmake
+#
+# Pairs: each known-bad snippet has a known-good control that must
+# compile under the same flags, so a bad-snippet failure is attributable
+# to the gate and not to an unrelated compile error.
+#
+# The nodiscard pair runs under every compiler (GCC and Clang both
+# enforce [[nodiscard]] via -Werror=unused-result). The thread-safety
+# pair needs Clang's -Wthread-safety analysis and is skipped — loudly —
+# elsewhere; the CI lint leg always runs it under clang++.
+
+function(compile_snippet snippet extra_flags expect_success label)
+  execute_process(
+    COMMAND ${CXX} -std=c++20 -c ${SRC}/tests/lint_guard/${snippet}
+            -I${SRC}/src -o ${CMAKE_CURRENT_BINARY_DIR}/lint_guard_obj.o
+            ${extra_flags}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(expect_success AND NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${label}: control snippet ${snippet} must compile but failed:\n${err}")
+  endif()
+  if(NOT expect_success AND rc EQUAL 0)
+    message(FATAL_ERROR
+      "${label}: known-bad snippet ${snippet} COMPILED — the gate no "
+      "longer fires. Flags: ${extra_flags}")
+  endif()
+  message(STATUS "${label}: ${snippet} behaved as expected")
+endfunction()
+
+compile_snippet(nodiscard_good.cc "-Werror=unused-result" TRUE
+                "nodiscard gate")
+compile_snippet(nodiscard_bad.cc "-Werror=unused-result" FALSE
+                "nodiscard gate")
+
+if(CXX_ID MATCHES "Clang")
+  compile_snippet(guarded_by_good.cc
+                  "-Wthread-safety;-Werror=thread-safety" TRUE
+                  "thread-safety gate")
+  compile_snippet(guarded_by_bad.cc
+                  "-Wthread-safety;-Werror=thread-safety" FALSE
+                  "thread-safety gate")
+else()
+  message(STATUS
+    "thread-safety gate: SKIPPED (compiler is ${CXX_ID}, analysis needs "
+    "Clang — the CI lint leg runs this pair under clang++)")
+endif()

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -29,6 +30,7 @@
 #include "server/admission.h"
 #include "server/prepared_cache.h"
 #include "server/protocol.h"
+#include "storage/persist.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
 
@@ -441,6 +443,54 @@ TEST_F(ServerTest, PreparedCacheHitsClassifiesAndRejects) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+// Pins the status-reset fix in PreparedQueryCache::Get: every path that
+// returns a non-null entry — the fast hit, the miss-insert, and the
+// lost-insert race where another thread built the same key first — must
+// reset *status to OK rather than leak whatever a previous failed
+// lookup left in the caller's reused Status.
+TEST_F(ServerTest, PreparedCacheResetsStaleStatusOnEveryHitPath) {
+  PreparedQueryCache cache(rels_->Map(), rels_->catalog(),
+                           /*heavy_log2_threshold=*/20.0, /*capacity=*/8);
+  Status status;
+  bool hit = false;
+  ASSERT_NE(cache.Get("lftj", kCheapQuery, &status, &hit), nullptr);
+  // Poison the out-param the way a preceding garbage request does, then
+  // hit the cached entry: the stale error must not survive.
+  ASSERT_EQ(cache.Get("lftj", "edge(a,", &status, &hit), nullptr);
+  ASSERT_FALSE(status.ok());
+  ASSERT_NE(cache.Get("lftj", kCheapQuery, &status, &hit), nullptr);
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  // The lost-insert race: many threads miss the same cold key at once,
+  // all build, one insert wins, the rest return the winner's entry.
+  // Each racer starts with a poisoned Status; under the pre-fix code
+  // the losers returned a valid entry next to the stale error.
+  constexpr int kRacers = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(kRacers,
+                               Status(StatusCode::kInternal, "stale"));
+  std::vector<std::shared_ptr<const PreparedQuery>> entries(kRacers);
+  threads.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      entries[i] =
+          cache.Get("lftj", kTriangleQuery, &statuses[i], nullptr);
+    });
+  }
+  while (ready.load() != kRacers) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kRacers; ++i) {
+    ASSERT_NE(entries[i], nullptr) << i;
+    EXPECT_TRUE(statuses[i].ok()) << i << ": " << statuses[i].ToString();
+  }
+}
+
 // ---------------------------------------------------------------------
 // End-to-end daemon behavior
 
@@ -772,6 +822,55 @@ TEST_F(ServerTest, EnqueueFaultIsAStructuredShedReply) {
   ASSERT_TRUE(conn.RoundTrip(QueryLine(kCheapQuery, "lftj"), &r));
   EXPECT_TRUE(r.ok);
   EXPECT_EQ(r.count, cheap_count_);
+}
+
+// Pins the Drain() flush-status fix: a failed drain-time catalog flush
+// must surface through Server::flush_status() instead of being
+// swallowed. The drain itself still completes cleanly (a failed save
+// means the next process cold-starts; it never wedges shutdown), and a
+// torn MANIFEST is never published.
+TEST_F(ServerTest, DrainSurfacesCatalogFlushFailure) {
+  const std::string dir =
+      testing::TempDir() + "wcoj_server_flushfail";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ServerConfig config = SmallConfig();
+  config.save_catalog_dir = dir;
+  auto server = StartServer(config);
+  // Serve one query so the flush has a built index to write.
+  TestConn conn;
+  ASSERT_TRUE(conn.Connect(server->port()));
+  ServerReply r;
+  ASSERT_TRUE(conn.RoundTrip(QueryLine(kCheapQuery, "lftj"), &r));
+  ASSERT_TRUE(r.ok);
+  conn.Close();
+
+  FailPoints::Arm("persist.manifest.commit", 1);
+  server->Drain();
+  FailPoints::DisarmAll();
+
+  const Status flush = server->flush_status();
+  EXPECT_FALSE(flush.ok()) << "injected commit fault was swallowed";
+  // The commit fault fires before the manifest rename, so no MANIFEST
+  // is published: a cold start sees "no catalog", never a torn one.
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(dir) / CatalogManifestName()));
+
+  // Control: the same drain without the fault reports OK and publishes.
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto server2 = StartServer(config);
+  TestConn conn2;
+  ASSERT_TRUE(conn2.Connect(server2->port()));
+  ASSERT_TRUE(conn2.RoundTrip(QueryLine(kCheapQuery, "lftj"), &r));
+  conn2.Close();
+  server2->Drain();
+  EXPECT_TRUE(server2->flush_status().ok())
+      << server2->flush_status().ToString();
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / CatalogManifestName()));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
